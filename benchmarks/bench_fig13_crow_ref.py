@@ -1,0 +1,115 @@
+"""Figure 13: CROW-ref speedup and DRAM energy across chip densities.
+
+CROW-ref remaps the (pessimistically assumed three-per-subarray) weak rows
+to strong copy rows so the whole chip refreshes every 128 ms instead of
+64 ms. Each REF command blocks the rank for tRFC, which grows with
+density, so the benefit rises from negligible at 8 Gbit to substantial at
+the futuristic 64 Gbit node (paper: +7.1%/-17.2% single-core,
++11.9%/-7.8% four-core at 64 Gbit).
+"""
+
+import statistics
+
+from repro import SystemConfig, build_mix, run_mix, run_workload
+
+from _harness import MIX_INSTRUCTIONS, MIX_WARMUP, report
+
+#: Single-core sample; refresh pain is broad, so a small sample suffices.
+SAMPLE = ("mcf", "lbm", "omnetpp", "h264-dec", "sphinx3", "tpcc64")
+DENSITIES = (8, 16, 32, 64)
+#: Longer runs so each measurement spans many tREFI windows.
+INSTR = MIX_INSTRUCTIONS * 4
+WARM = MIX_WARMUP * 2
+
+
+def _run():
+    rows = []
+    by_density = {}
+    for density in DENSITIES:
+        speedups, energies = [], []
+        for name in SAMPLE:
+            base = run_workload(
+                name, SystemConfig(density_gbit=density),
+                instructions=INSTR, warmup_instructions=WARM,
+            )
+            ref = run_workload(
+                name,
+                SystemConfig(
+                    mechanism="crow-ref", density_gbit=density,
+                    weak_rows_per_subarray=3,
+                ),
+                instructions=INSTR, warmup_instructions=WARM,
+            )
+            speedups.append(ref.speedup_over(base))
+            energies.append(ref.energy_ratio(base))
+        mix_speedups, mix_energies = [], []
+        for seed in (1, 2):
+            mix = build_mix("HHHH", seed=seed)
+            mix_base = run_mix(
+                mix, SystemConfig(cores=4, density_gbit=density), seed=seed,
+                instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP,
+            )
+            mix_ref = run_mix(
+                mix,
+                SystemConfig(
+                    cores=4, mechanism="crow-ref", density_gbit=density,
+                    weak_rows_per_subarray=3,
+                ),
+                seed=seed,
+                instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP,
+            )
+            mix_speedups.append(mix_ref.speedup_over(mix_base))
+            mix_energies.append(mix_ref.energy_ratio(mix_base))
+        entry = {
+            "speedup_1c": statistics.mean(speedups),
+            "energy_1c": statistics.mean(energies),
+            "speedup_4c": statistics.mean(mix_speedups),
+            "energy_4c": statistics.mean(mix_energies),
+        }
+        by_density[density] = entry
+        rows.append([
+            f"{density} Gbit",
+            f"{entry['speedup_1c']:.3f}",
+            f"{entry['energy_1c']:.3f}",
+            f"{entry['speedup_4c']:.3f}",
+            f"{entry['energy_4c']:.3f}",
+        ])
+    report(
+        "fig13_crow_ref",
+        "Figure 13 — CROW-ref vs. baseline across chip densities",
+        ["density", "1-core speedup", "1-core energy",
+         "4-core speedup (HHHH)", "4-core energy"],
+        rows,
+        notes=[
+            "three weak rows per subarray (the paper's pessimistic "
+            "assumption); refresh window 64 ms -> 128 ms",
+            "paper at 64 Gbit: 1.071 / 0.828 (1-core), 1.119 / 0.922 "
+            "(4-core)",
+        ],
+    )
+    return by_density
+
+
+def test_fig13_crow_ref(benchmark):
+    by_density = benchmark.pedantic(_run, rounds=1, iterations=1)
+    speed = [by_density[d]["speedup_1c"] for d in DENSITIES]
+    energy = [by_density[d]["energy_1c"] for d in DENSITIES]
+    # Benefit grows with density (allow per-step scheduling noise of ~1%,
+    # but the end-to-end trend must be strict and large).
+    for earlier, later in zip(speed, speed[1:]):
+        assert later > earlier - 0.01
+    for earlier, later in zip(energy, energy[1:]):
+        assert later < earlier + 0.01
+    assert speed[-1] > speed[0] + 0.03
+    assert energy[-1] < energy[0] - 0.05
+    # The benefit is substantial at 64 Gbit.
+    assert by_density[64]["speedup_1c"] > 1.03
+    assert by_density[64]["energy_1c"] < 0.92
+    # Four-core speedup cells are dominated by scheduling noise and by a
+    # real second-order effect (refresh stalls overlap with MLP while
+    # refresh-forced precharges serendipitously pre-close rows), so only
+    # the robust four-core signals are asserted: the energy trend with
+    # density, and the absence of any catastrophic slowdown.
+    assert by_density[64]["energy_4c"] < by_density[8]["energy_4c"] - 0.02
+    assert by_density[64]["energy_4c"] < 0.95
+    assert all(by_density[d]["speedup_4c"] > 0.9 for d in DENSITIES)

@@ -1,0 +1,59 @@
+"""Section 4.2.1: weak-row statistics (Equations 1 and 2).
+
+The paper computes, from the published retention bit error rate
+(4e-9 at a 256 ms refresh interval, uniform random placement), the
+probability that any subarray of a chip holds more weak rows than CROW has
+copy rows: 0.99 / 3.1e-1 / 3.3e-4 / 3.3e-11 for more than 1/2/4/8 weak
+rows — the argument that eight copy rows per subarray suffice.
+"""
+
+import pytest
+
+from repro.core import p_subarray_exceeds, p_weak_row
+
+from _harness import report
+
+BER = 4e-9
+CELLS_PER_ROW = 8 * 1024 * 8
+ROWS_PER_SUBARRAY = 512
+SUBARRAYS_PER_CHIP = 1024
+PAPER = {1: 0.99, 2: 3.1e-1, 4: 3.3e-4, 8: 3.3e-11}
+
+
+def _chip_probability(n: int) -> float:
+    p_row = p_weak_row(BER, CELLS_PER_ROW)
+    per_subarray = p_subarray_exceeds(n, ROWS_PER_SUBARRAY, p_row)
+    return 1.0 - (1.0 - per_subarray) ** SUBARRAYS_PER_CHIP
+
+
+def _build_table():
+    p_row = p_weak_row(BER, CELLS_PER_ROW)
+    rows = [["P(row has a weak cell)", f"{p_row:.3e}", "-"]]
+    for n, paper_value in PAPER.items():
+        rows.append([
+            f"P(any subarray has > {n} weak rows)",
+            f"{_chip_probability(n):.2e}",
+            f"{paper_value:.2e}",
+        ])
+    report(
+        "sec4_weak_row_probability",
+        "Section 4.2.1 — weak-row probabilities (Eqs. 1-2)",
+        ["quantity", "computed", "paper"],
+        rows,
+        notes=[
+            "BER 4e-9 at 256 ms refresh, 8 KiB rows, 512-row subarrays, "
+            "1024 subarrays per chip",
+        ],
+    )
+    return {n: _chip_probability(n) for n in PAPER}
+
+
+def test_sec4_weak_row_probability(benchmark):
+    computed = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    assert computed[1] == pytest.approx(PAPER[1], abs=0.35)
+    assert computed[2] == pytest.approx(PAPER[2], rel=0.5)
+    assert computed[4] == pytest.approx(PAPER[4], rel=0.6)
+    assert computed[8] == pytest.approx(PAPER[8], rel=0.9)
+    # Monotone: more copy rows always means lower residual risk.
+    values = [computed[n] for n in (1, 2, 4, 8)]
+    assert values == sorted(values, reverse=True)

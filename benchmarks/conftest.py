@@ -1,0 +1,22 @@
+"""Benchmark-session plumbing.
+
+pytest captures stdout during the run, so each benchmark's paper-style
+table is persisted under ``benchmarks/results/`` and replayed into the
+terminal report here, where capture no longer applies — the tables land in
+``bench_output.txt`` when the session is tee'd.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS_DIR.is_dir():
+        return
+    files = sorted(RESULTS_DIR.glob("*.txt"))
+    if not files:
+        return
+    terminalreporter.section("paper-figure reproduction tables")
+    for file in files:
+        terminalreporter.write("\n" + file.read_text())

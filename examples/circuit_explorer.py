@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Explore the circuit-level behaviour of multiple-row activation.
+
+Reproduces, from the analytical SPICE-substitute model, the quantities
+behind the paper's Figures 5-7 and Table 1: how tRCD/tRAS/tWR change with
+the number of simultaneously-activated rows, the tRCD-vs-tRAS trade-off of
+early restoration termination, and the power/area costs.
+"""
+
+from repro.circuit import (
+    DecoderAreaModel,
+    MonteCarloAnalyzer,
+    MraModel,
+    activation_power_overhead,
+    derive_crow_timing_factors,
+)
+
+
+def main() -> None:
+    model = MraModel()
+    base = model.baseline()
+    print("== Latency vs. simultaneously-activated rows (Figure 5) ==")
+    print(f"{'rows':>5} {'tRCD':>7} {'tRAS':>7} {'restore':>8} {'tWR':>7} "
+          f"{'power':>7}")
+    for n in range(1, 10):
+        print(f"{n:>5} {model.trcd_factor(n):>6.2f}x "
+              f"{model.tras_factor(n):>6.2f}x "
+              f"{model.restoration_factor(n):>7.2f}x "
+              f"{model.twr_factor(n):>6.2f}x "
+              f"{activation_power_overhead(n):>6.3f}x")
+    print()
+
+    print("== tRCD / tRAS trade-off for two rows (Figure 6) ==")
+    print(f"{'restore to':>11} {'tRAS':>7} {'next tRCD':>10} "
+          f"{'retention':>10}")
+    for point in model.tradeoff_frontier(2, n_points=8):
+        print(f"{point.restore_fraction:>10.1%} "
+              f"{point.tras_factor:>6.2f}x "
+              f"{point.next_trcd_factor:>9.2f}x "
+              f"{point.retention_ms:>8.1f}ms")
+    print()
+
+    print("== Derived Table 1 factors (vs. published values) ==")
+    derived = derive_crow_timing_factors()
+    published = [
+        ("ACT-t tRCD (full pair)", derived.act_t_full_trcd, 0.62),
+        ("ACT-t tRAS (full restore)", derived.act_t_tras_full, 0.93),
+        ("ACT-t tRAS (early term.)", derived.act_t_tras_early, 0.67),
+        ("ACT-c tRCD", derived.act_c_trcd, 1.00),
+        ("ACT-c tRAS (full restore)", derived.act_c_tras_full, 1.18),
+        ("MRA tWR (full restore)", derived.twr_full, 1.14),
+        ("MRA tWR (early term.)", derived.twr_early, 0.87),
+    ]
+    print(f"{'quantity':<28} {'derived':>8} {'paper':>7}")
+    for name, value, paper in published:
+        print(f"{name:<28} {value:>7.2f}x {paper:>6.2f}x")
+    print()
+
+    print("== Monte-Carlo process variation (5% margins) ==")
+    analyzer = MonteCarloAnalyzer(iterations=2000, seed=7)
+    for name, result in analyzer.analyze(n_rows=2).items():
+        print(f"two-row {name:<5}: mean {result.mean_ns:6.2f} ns, "
+              f"worst {result.worst_ns:6.2f} ns "
+              f"(spread {100 * (result.spread - 1):.1f}%)")
+    print()
+
+    print("== Copy-row decoder area (Figure 7 right) ==")
+    area = DecoderAreaModel()
+    print(f"{'copy rows':>10} {'decoder area':>13} {'decoder ovh':>12} "
+          f"{'chip ovh':>9} {'capacity':>9}")
+    for copy_rows in (1, 2, 4, 8, 16, 32):
+        print(f"{copy_rows:>10} "
+              f"{area.decoder_area_um2(copy_rows):>10.1f}um2 "
+              f"{area.copy_decoder_overhead(copy_rows):>11.1%} "
+              f"{area.crow_chip_overhead(copy_rows):>8.2%} "
+              f"{area.crow_capacity_overhead(copy_rows):>8.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The full CROW substrate: caching + refresh relief + RowHammer defense.
+
+The paper's headline flexibility claim is that one substrate (copy rows +
+CROW-table) hosts several mechanisms *at the same time*. This demo builds
+the ``crow-full`` mechanism and shows all three working on one channel:
+
+1. boot-time retention profiling pins copy rows for weak-row remaps
+   (refresh window 64 ms -> 128 ms),
+2. a victim application's row reuse hits the CROW-cache (``ACT-t``),
+3. an aggressor hammering one row triggers the detector, which copies the
+   adjacent victim rows to copy rows through the urgent command path —
+   while the cache keeps working around them.
+"""
+
+from repro.controller import ChannelController, MemRequest, RequestType
+from repro.core import CrowFullSubstrate, EntryOwner
+from repro.dram import (
+    AddressMapper,
+    DramChannel,
+    DramGeometry,
+    RetentionModel,
+    TimingParameters,
+)
+from repro.dram.address import DramAddress
+from repro.dram.commands import CommandKind, RowKind
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+MAPPER = AddressMapper(GEO)
+
+AGGRESSOR = 200
+HOT_ROWS = (300, 301, 302)
+
+
+def request(controller, row, now):
+    addr = MAPPER.encode(
+        DramAddress(channel=0, rank=0, bank=0, row=row, col=0)
+    )
+    controller.enqueue(
+        MemRequest(RequestType.READ, addr, MAPPER.decode(addr)), now
+    )
+    while controller.pending_requests:
+        now = max(controller.tick(now), now + 1)
+    for _ in range(400):
+        if not controller.channel.banks[0].is_open:
+            break
+        now = max(controller.tick(now), now + 1)
+    return now
+
+
+def main() -> None:
+    retention = RetentionModel(
+        GEO, target_interval_ms=128.0, weak_rows_per_subarray=1, seed=5
+    )
+    substrate = CrowFullSubstrate(
+        GEO, TIMING, retention, hammer_threshold=12
+    )
+    channel = DramChannel(GEO, TIMING)
+    controller = ChannelController(
+        channel, mechanism=substrate, refresh_enabled=False
+    )
+
+    print("== 1. CROW-ref (boot) ==")
+    print(f"weak rows remapped to strong copy rows: "
+          f"{substrate.ref.remapped_rows}")
+    print(f"refresh window: 64 ms -> "
+          f"{substrate.achieved_refresh_window_ms:.0f} ms")
+    print()
+
+    now = 0
+    print("== 2. CROW-cache (victim application) ==")
+    for _ in range(3):
+        for row in HOT_ROWS:
+            now = request(controller, row, now)
+    print(f"CROW-table hit rate over the hot set: "
+          f"{substrate.cache.hit_rate():.2f}")
+    print(f"ACT-t commands issued: {channel.counts[CommandKind.ACT_T]}")
+    print()
+
+    print("== 3. RowHammer mitigation (attack) ==")
+    for _ in range(14):
+        now = request(controller, AGGRESSOR, now)
+    print(f"aggressor row {AGGRESSOR} activations: "
+          f"{substrate.hammer.counters.get((0, AGGRESSOR), 0)}")
+    print(f"victims remapped to copy rows: "
+          f"{substrate.hammer.protected_victims}")
+    for victim in (AGGRESSOR - 1, AGGRESSOR + 1):
+        srow = substrate.service_row(0, victim)
+        where = "copy row" if srow.kind is RowKind.COPY else "regular row"
+        print(f"  row {victim} now served from: {where}")
+    print()
+
+    print("== copy-row pool bookkeeping (one CROW-table) ==")
+    for owner in (EntryOwner.REF, EntryOwner.HAMMER, EntryOwner.CACHE):
+        print(f"  {owner.name:<7}: "
+              f"{substrate.table.allocated_count(owner)} copy rows")
+    print()
+    print("all three mechanisms share one substrate — the paper's claim.")
+
+
+if __name__ == "__main__":
+    main()

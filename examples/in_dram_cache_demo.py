@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Functional walk-through of the CROW substrate's two primitives.
+
+Drives a DRAM channel with the functional cell array attached and shows,
+at the level of individual commands:
+
+1. ``ACT-c`` (activate-and-copy) — RowClone-style in-DRAM duplication of a
+   regular row into a copy row,
+2. ``ACT-t`` (activate-two) — reduced-latency simultaneous activation of
+   the duplicate pair,
+3. the *partial restoration* hazard — why the memory controller must
+   fully restore a pair before evicting it from the CROW-table
+   (paper Section 4.1.4), demonstrated by deliberately breaking the rule.
+"""
+
+import numpy as np
+
+from repro.dram import (
+    CellArray,
+    CrowTimings,
+    DramChannel,
+    DramGeometry,
+    TimingParameters,
+)
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId
+from repro.errors import DataIntegrityError
+
+GEO = DramGeometry()
+TIMING = TimingParameters.lpddr4()
+CROW = CrowTimings.from_factors(TIMING)
+
+
+def act_c(row: int, copy_index: int) -> Command:
+    regular = RowId.regular(row, GEO.rows_per_subarray)
+    return Command(
+        CommandKind.ACT_C,
+        bank=0,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=ActTimings(
+            trcd=CROW.trcd_act_c,
+            tras_full=CROW.tras_act_c_full,
+            tras_early=CROW.tras_act_c_early,
+            twr=CROW.twr_mra_early,
+            twr_full=CROW.twr_mra_full,
+        ),
+    )
+
+
+def act_t(row: int, copy_index: int) -> Command:
+    regular = RowId.regular(row, GEO.rows_per_subarray)
+    return Command(
+        CommandKind.ACT_T,
+        bank=0,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=ActTimings(
+            trcd=CROW.trcd_act_t_full,
+            tras_full=CROW.tras_act_t_full,
+            tras_early=CROW.tras_act_t_early,
+            twr=CROW.twr_mra_early,
+            twr_full=CROW.twr_mra_full,
+        ),
+    )
+
+
+def main() -> None:
+    cells = CellArray(GEO, clock_mhz=TIMING.clock_mhz)
+    channel = DramChannel(GEO, TIMING, cell_array=cells)
+    source = RowId.regular(100, GEO.rows_per_subarray)
+    copy = RowId.copy(source.subarray, 0)
+
+    print("== 1. In-DRAM row copy with ACT-c ==")
+    cells.set_row_data(0, source, 0xC0FFEE)
+    print(f"regular row 100 holds 0x{int(cells.row_data(0, source)[0]):X}")
+    now = channel.earliest_issue(act_c(100, 0))
+    channel.issue(act_c(100, 0), now)
+    pre = Command(CommandKind.PRE, bank=0)
+    now = channel.earliest_issue(pre, honor_full_tras=True)
+    # Wait until the pair is fully restored before closing.
+    now = max(now, CROW.tras_act_c_full)
+    channel.issue(pre, now)
+    same = np.array_equal(cells.row_data(0, copy), cells.row_data(0, source))
+    print(f"after ACT-c + full restore: copy row == regular row? {same}")
+    print(f"copy row is live: {cells.is_live(0, copy)}")
+    print()
+
+    print("== 2. Reduced-latency activation with ACT-t ==")
+    print(f"conventional ACT tRCD : {TIMING.trcd} cycles")
+    print(f"ACT-t tRCD (pair)     : {CROW.trcd_act_t_full} cycles "
+          f"({100 * (1 - CROW.trcd_act_t_full / TIMING.trcd):.0f}% lower)")
+    t_act = channel.earliest_issue(act_t(100, 0))
+    channel.issue(act_t(100, 0), t_act)
+    rd = Command(CommandKind.RD, bank=0, col=0)
+    t_rd = channel.earliest_issue(rd)
+    print(f"read issued {t_rd - t_act} cycles after ACT-t "
+          f"(= the reduced tRCD)")
+    channel.issue(rd, t_rd)
+    # Close early: restoration is terminated before the full tRAS.
+    t_pre = channel.earliest_issue(pre)
+    channel.issue(pre, t_pre)
+    print(f"pair precharged after {t_pre - t_act} cycles "
+          f"(< full tRAS of {CROW.tras_act_t_full}): partially restored")
+    print(f"charge fraction now: {cells.charge_fraction(0, source):.2f} "
+          f"(full = {cells.tech.full_restore_fraction})")
+    print()
+
+    print("== 3. The partial-restoration hazard ==")
+    print("activating the partially-restored regular row ALONE would")
+    print("corrupt it; the CROW-cache eviction protocol prevents this by")
+    print("fully restoring the pair first. Breaking the rule on purpose:")
+    single = Command(CommandKind.ACT, bank=0, rows=(source,))
+    try:
+        channel.issue(single, channel.earliest_issue(single))
+    except DataIntegrityError as error:
+        print(f"  DataIntegrityError: {error}")
+    print()
+    print("restoring the pair properly (ACT-t honoring the full tRAS)...")
+    t = channel.earliest_issue(act_t(100, 0))
+    channel.issue(act_t(100, 0), t)
+    t_pre = max(channel.earliest_issue(pre), t + CROW.tras_act_t_full)
+    channel.issue(pre, t_pre)
+    print(f"pair fully restored: requires_pair = "
+          f"{cells.requires_pair(0, source)}")
+    single_t = channel.earliest_issue(single)
+    channel.issue(single, single_t)
+    print("single-row activation now succeeds — safe to evict the entry.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: compare conventional DRAM against the CROW mechanisms.
+
+Runs one memory-intensive workload on the paper's Table 2 system under
+four configurations — baseline, CROW-cache, CROW-ref and the combined
+mechanism — and prints speedup, DRAM energy, and CROW-table hit rate.
+
+Usage::
+
+    python examples/quickstart.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import SystemConfig, run_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "h264-dec"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    warmup = instructions // 2
+
+    print(f"workload: {name}  ({instructions} measured instructions)")
+    print()
+
+    baseline = run_workload(
+        name, SystemConfig(mechanism="baseline"),
+        instructions=instructions, warmup_instructions=warmup,
+    )
+    print(
+        f"{'config':<14} {'IPC':>6} {'speedup':>8} {'energy':>8} "
+        f"{'hit rate':>9} {'refresh window':>15}"
+    )
+    print(
+        f"{'baseline':<14} {baseline.ipc:>6.3f} {'1.000x':>8} {'1.000x':>8} "
+        f"{'-':>9} {baseline.refresh_window_ms:>13.0f}ms"
+    )
+    for mechanism in ("crow-cache", "crow-ref", "crow-combined"):
+        result = run_workload(
+            name, SystemConfig(mechanism=mechanism),
+            instructions=instructions, warmup_instructions=warmup,
+        )
+        hit = f"{result.crow_hit_rate:.2f}" if result.crow_hit_rate else "-"
+        print(
+            f"{mechanism:<14} {result.ipc:>6.3f} "
+            f"{result.speedup_over(baseline):>7.3f}x "
+            f"{result.energy_ratio(baseline):>7.3f}x "
+            f"{hit:>9} {result.refresh_window_ms:>13.0f}ms"
+        )
+    print()
+    print(f"measured MPKI: {baseline.core_mpki[0]:.1f}")
+    print("(energy < 1.0x means CROW reduced DRAM energy)")
+
+
+if __name__ == "__main__":
+    main()

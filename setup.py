@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot take the PEP 660 build path; this shim enables the classic
+``setup.py develop`` editable install. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run`` — simulate one workload (or a mix) under a mechanism and print
+  the headline metrics, optionally against a baseline run.
+* ``workloads`` — list the named workload suite.
+* ``timings`` — print the baseline + CROW command timing parameters.
+* ``overheads`` — print the CROW substrate cost model (Section 6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import SystemConfig, WORKLOADS, run_mix, run_workload
+from repro.analysis import TextTable
+from repro.sim.config import MECHANISMS
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.workload
+    config_kwargs = dict(
+        mechanism=args.mechanism,
+        density_gbit=args.density,
+        copy_rows=args.copy_rows,
+        prefetcher=args.prefetcher,
+        seed=args.seed,
+    )
+    run_kwargs = dict(
+        instructions=args.instructions,
+        warmup_instructions=args.warmup,
+    )
+
+    def simulate(mechanism: str):
+        config = SystemConfig(
+            cores=len(names), **{**config_kwargs, "mechanism": mechanism}
+        )
+        if len(names) == 1:
+            return run_workload(names[0], config, **run_kwargs)
+        return run_mix(names, config, **run_kwargs)
+
+    result = simulate(args.mechanism)
+    table = TextTable(
+        f"{'+'.join(names)} under {args.mechanism}",
+        ["metric", "value"],
+    )
+    if len(names) == 1:
+        table.add_row("IPC", result.ipc)
+        table.add_row("MPKI", result.core_mpki[0])
+    else:
+        table.add_row("IPC (sum)", result.ipc_sum)
+    table.add_row("memory cycles", result.cycles)
+    table.add_row("DRAM energy (uJ)", result.total_energy_nj / 1000.0)
+    table.add_row("refresh window (ms)", result.refresh_window_ms)
+    if result.crow_hit_rate is not None:
+        table.add_row("CROW-table hit rate", result.crow_hit_rate)
+    if args.baseline and args.mechanism != "baseline":
+        base = simulate("baseline")
+        table.add_row("speedup vs baseline", result.speedup_over(base))
+        table.add_row("energy vs baseline", result.energy_ratio(base))
+    print(table.render())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    table = TextTable(
+        "named workload suite", ["name", "class", "suite", "description"]
+    )
+    for name in sorted(WORKLOADS):
+        w = WORKLOADS[name]
+        table.add_row(w.name, w.expected_class, w.suite, w.description)
+    print(table.render())
+    return 0
+
+
+def _cmd_timings(args: argparse.Namespace) -> int:
+    from repro.dram import CrowTimings, TimingParameters
+
+    timing = TimingParameters.lpddr4(density_gbit=args.density)
+    crow = CrowTimings.from_factors(timing)
+    table = TextTable(
+        f"LPDDR4 timings at {args.density} Gbit (cycles @ 1600 MHz)",
+        ["parameter", "cycles"],
+    )
+    for name in ("trcd", "tras", "trp", "twr", "tcl", "trfc", "trefi"):
+        table.add_row(name.upper(), getattr(timing, name))
+    table.add_row("ACT-t tRCD (full pair)", crow.trcd_act_t_full)
+    table.add_row("ACT-t tRAS (early term.)", crow.tras_act_t_early)
+    table.add_row("ACT-c tRAS (full restore)", crow.tras_act_c_full)
+    print(table.render())
+    return 0
+
+
+def _cmd_overheads(args: argparse.Namespace) -> int:
+    from repro.circuit import DecoderAreaModel
+    from repro.core import crow_table_storage_kib
+
+    area = DecoderAreaModel()
+    table = TextTable(
+        f"CROW substrate overheads ({args.copy_rows} copy rows/subarray)",
+        ["quantity", "value"],
+    )
+    table.add_row(
+        "CROW-table storage / channel (KiB)",
+        crow_table_storage_kib(copy_rows_per_subarray=args.copy_rows),
+    )
+    table.add_row(
+        "decoder area overhead",
+        f"{area.copy_decoder_overhead(args.copy_rows):.2%}",
+    )
+    table.add_row(
+        "chip area overhead", f"{area.crow_chip_overhead(args.copy_rows):.2%}"
+    )
+    table.add_row(
+        "capacity overhead",
+        f"{area.crow_capacity_overhead(args.copy_rows):.2%}",
+    )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CROW (ISCA 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload or mix")
+    run.add_argument("workload", nargs="+", choices=sorted(WORKLOADS),
+                     metavar="workload")
+    run.add_argument("--mechanism", default="crow-cache", choices=MECHANISMS)
+    run.add_argument("--instructions", type=int, default=40_000)
+    run.add_argument("--warmup", type=int, default=15_000)
+    run.add_argument("--density", type=int, default=8,
+                     choices=(8, 16, 32, 64))
+    run.add_argument("--copy-rows", type=int, default=8)
+    run.add_argument("--prefetcher", action="store_true")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--no-baseline", dest="baseline", action="store_false",
+                     help="skip the baseline comparison run")
+    run.set_defaults(func=_cmd_run)
+
+    wl = sub.add_parser("workloads", help="list the workload suite")
+    wl.set_defaults(func=_cmd_workloads)
+
+    tm = sub.add_parser("timings", help="print timing parameters")
+    tm.add_argument("--density", type=int, default=8, choices=(8, 16, 32, 64))
+    tm.set_defaults(func=_cmd_timings)
+
+    ov = sub.add_parser("overheads", help="print substrate cost model")
+    ov.add_argument("--copy-rows", type=int, default=8)
+    ov.set_defaults(func=_cmd_overheads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

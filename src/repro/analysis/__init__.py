@@ -1,0 +1,20 @@
+"""Result analysis and reporting utilities.
+
+Used by the benchmark harness and the examples to turn simulation results
+into the paper-style tables and series: fixed-width text tables, summary
+statistics (means, geometric means), normalized comparisons, and simple
+ASCII bar series for terminal-friendly "figures".
+"""
+
+from repro.analysis.tables import TextTable, format_table
+from repro.analysis.stats import geometric_mean, normalize, summarize_speedups
+from repro.analysis.series import ascii_bars
+
+__all__ = [
+    "TextTable",
+    "format_table",
+    "geometric_mean",
+    "normalize",
+    "summarize_speedups",
+    "ascii_bars",
+]

@@ -1,0 +1,40 @@
+"""Summary statistics for experiment series."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = ["geometric_mean", "normalize", "summarize_speedups"]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the conventional average for speedup ratios)."""
+    if not values:
+        raise ConfigError("geometric_mean of an empty series")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: list[float], baseline: float) -> list[float]:
+    """Divide a series by a baseline value."""
+    if baseline == 0:
+        raise ConfigError("baseline must be non-zero")
+    return [v / baseline for v in values]
+
+
+def summarize_speedups(speedups: dict[str, float]) -> dict[str, float]:
+    """Arithmetic/geometric mean, min and max of a named speedup series."""
+    if not speedups:
+        raise ConfigError("empty speedup series")
+    values = list(speedups.values())
+    return {
+        "mean": sum(values) / len(values),
+        "gmean": geometric_mean(values),
+        "min": min(values),
+        "max": max(values),
+        "best": max(speedups, key=speedups.get),
+        "worst": min(speedups, key=speedups.get),
+    }

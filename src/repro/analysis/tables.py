@@ -1,0 +1,83 @@
+"""Fixed-width text tables for experiment reports."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["format_table", "TextTable"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+    notes: list[str] | None = None,
+) -> str:
+    """Render a fixed-width table; every row must match the header arity."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in notes or []:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+class TextTable:
+    """Incrementally-built text table with typed cell formatting.
+
+    >>> table = TextTable("demo", ["config", "speedup"])
+    >>> table.add_row("crow-8", 1.0713)
+    >>> print(table.render())   # doctest: +ELLIPSIS
+    == demo ==
+    ...
+    """
+
+    def __init__(self, title: str, headers: list[str]) -> None:
+        if not headers:
+            raise ConfigError("headers must be non-empty")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+        self.notes: list[str] = []
+
+    @staticmethod
+    def _format(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def add_row(self, *cells) -> "TextTable":
+        """Append one formatted row; returns self for chaining."""
+        if len(cells) != len(self.headers):
+            raise ConfigError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+        return self
+
+    def add_note(self, note: str) -> "TextTable":
+        """Append a footnote line; returns self for chaining."""
+        self.notes.append(note)
+        return self
+
+    def render(self) -> str:
+        """Render the table as fixed-width text."""
+        return format_table(self.headers, self.rows, self.title, self.notes)

@@ -1,0 +1,64 @@
+"""Idealized bounds used by the paper's Figures 8, 9 and 14.
+
+*Ideal CROW-cache* assumes a 100% CROW-table hit rate: every activation is
+an ``ACT-t`` on a fully-restored pair, paying the MRA energy overhead but
+never the copy/eviction costs. Combined with disabled refresh it forms the
+"ideal" bound of Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.controller.mechanism import ActivationPlan, Mechanism
+from repro.dram.commands import ActTimings, CommandKind, RowId
+from repro.dram.timing import CrowTimings, TimingParameters
+
+__all__ = ["IdealCrowCache"]
+
+
+class IdealCrowCache(Mechanism):
+    """Hypothetical CROW-cache with a 100% hit rate (timing-only model)."""
+
+    name = "ideal-crow-cache"
+
+    def __init__(
+        self,
+        geometry,
+        timing: TimingParameters,
+        crow: CrowTimings | None = None,
+        allow_partial_restore: bool = True,
+    ) -> None:
+        super().__init__(geometry, timing)
+        crow = crow if crow is not None else CrowTimings.from_factors(timing)
+        self._timings = ActTimings(
+            trcd=crow.trcd_act_t_full,
+            tras_full=crow.tras_act_t_full,
+            tras_early=(
+                crow.tras_act_t_early
+                if allow_partial_restore
+                else crow.tras_act_t_full
+            ),
+            twr=crow.twr_mra_early if allow_partial_restore else crow.twr_mra_full,
+            twr_full=crow.twr_mra_full if allow_partial_restore else None,
+        )
+        self.activations = 0
+
+    def plan_activation(self, bank: int, row: int, now: int) -> ActivationPlan:
+        """Mechanism hook: choose the activation command for ``row``."""
+        regular = RowId.regular(row, self.geometry.rows_per_subarray)
+        return ActivationPlan(
+            kind=CommandKind.ACT_T,
+            rows=(regular, RowId.copy(regular.subarray, 0)),
+            timings=self._timings,
+        )
+
+    def on_activate(self, bank: int, plan: ActivationPlan, now: int) -> None:
+        """Mechanism hook: an activation command was issued."""
+        self.activations += 1
+
+    def stats(self) -> dict[str, float]:
+        """Mechanism-specific statistics for the metrics layer."""
+        return {"ideal_activations": float(self.activations)}
+
+    def reset_stats(self) -> None:
+        """Zero statistics at the warm-up boundary."""
+        self.activations = 0

@@ -1,0 +1,35 @@
+"""SALP-MASA baseline [53] (paper Section 8.1.4).
+
+SALP exposes the subarray structure of a bank so that multiple local row
+buffers can hold open rows at once. The timing behaviour lives in the
+device model (:class:`repro.dram.bank.SalpBankState`, enabled through
+``DramChannel(salp_subarrays=...)``) and the row-buffer policy (timeout or
+open-page) lives in the controller configuration; this mechanism class
+carries the identity and statistics, and keeps conventional activation
+timings (SALP does not change activation latency, it avoids re-activation
+by keeping rows open in parallel subarrays).
+
+The in-DRAM cache capacity of SALP equals the number of subarrays per
+bank, so the Figure 11 sweep (SALP-64/128/256) is expressed by changing
+``DramGeometry.rows_per_subarray`` while holding capacity constant.
+"""
+
+from __future__ import annotations
+
+from repro.controller.mechanism import Mechanism
+
+__all__ = ["SalpMasa"]
+
+
+class SalpMasa(Mechanism):
+    """Marker mechanism for SALP-MASA runs (plain activations)."""
+
+    name = "salp-masa"
+
+    def __init__(self, geometry, timing, open_page: bool = False) -> None:
+        super().__init__(geometry, timing)
+        self.open_page = open_page
+
+    def stats(self) -> dict[str, float]:
+        """Mechanism-specific statistics for the metrics layer."""
+        return {"salp_open_page": float(self.open_page)}

@@ -1,0 +1,148 @@
+"""Tiered-Latency DRAM (TL-DRAM) in-DRAM caching baseline [58].
+
+TL-DRAM splits each subarray's bitlines with isolation transistors into a
+short *near* segment (very low tRCD/tRAS — the paper's circuit model finds
+-73% tRCD and -80% tRAS for an 8-row near segment) and a long *far*
+segment whose accesses pay a small latency penalty for crossing the
+isolation transistor. The near segment is managed exactly like
+CROW-cache's copy rows: an MRU cache of recently-activated far rows,
+filled with an in-DRAM copy operation (we reuse CROW's ``ACT-c``, as the
+paper does — Section 8.1.4).
+
+The decisive difference from CROW is cost: the per-bitline isolation
+transistors cost 6.9% of chip area versus CROW's 0.48% (Figure 11b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.mechanism import ActivationPlan, Mechanism
+from repro.dram.commands import ActTimings, CommandKind, RowId, RowKind
+from repro.dram.timing import TimingParameters, scale_cycles as _scale
+from repro.core.table import CrowTable, EntryOwner
+
+__all__ = ["TldramTimingFactors", "TLDRAM_TIMING_FACTORS", "TlDram"]
+
+
+@dataclass(frozen=True)
+class TldramTimingFactors:
+    """Timing multipliers for near/far segment accesses."""
+
+    near_trcd: float = 0.27     # -73% (8-row near segment, Section 8.1.4)
+    near_tras: float = 0.20     # -80%
+    far_trcd: float = 1.04      # isolation transistor penalty
+    far_tras: float = 1.09
+    copy_tras: float = 1.18     # far->near in-DRAM copy (ACT-c-like)
+
+
+TLDRAM_TIMING_FACTORS = TldramTimingFactors()
+
+
+class TlDram(Mechanism):
+    """TL-DRAM near-segment MRU cache (one instance per channel)."""
+
+    name = "tl-dram"
+
+    def __init__(
+        self,
+        geometry,
+        timing: TimingParameters,
+        factors: TldramTimingFactors | None = None,
+        table: CrowTable | None = None,
+    ) -> None:
+        super().__init__(geometry, timing)
+        self.factors = factors if factors is not None else TLDRAM_TIMING_FACTORS
+        self.table = table if table is not None else CrowTable(geometry)
+        f = self.factors
+        self._near_timings = ActTimings(
+            trcd=_scale(timing.trcd, f.near_trcd),
+            tras_full=_scale(timing.tras, f.near_tras),
+            tras_early=_scale(timing.tras, f.near_tras),
+            twr=timing.twr,
+        )
+        self._far_timings = ActTimings(
+            trcd=_scale(timing.trcd, f.far_trcd),
+            tras_full=_scale(timing.tras, f.far_tras),
+            tras_early=_scale(timing.tras, f.far_tras),
+            twr=timing.twr,
+        )
+        self._copy_timings = ActTimings(
+            trcd=_scale(timing.trcd, f.far_trcd),
+            tras_full=_scale(timing.tras, f.copy_tras),
+            tras_early=_scale(timing.tras, f.copy_tras),
+            twr=timing.twr,
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def service_row(self, bank: int, row: int) -> RowId:
+        """Physical row that serves requests for ``row`` (remap-aware)."""
+        subarray, index = divmod(row, self.geometry.rows_per_subarray)
+        entry = self.table.lookup(bank, subarray, index)
+        if entry is not None:
+            return RowId.copy(subarray, entry.way)
+        return RowId.regular(row, self.geometry.rows_per_subarray)
+
+    def plan_activation(self, bank: int, row: int, now: int) -> ActivationPlan:
+        """Mechanism hook: choose the activation command for ``row``."""
+        subarray, index = divmod(row, self.geometry.rows_per_subarray)
+        regular = RowId.regular(row, self.geometry.rows_per_subarray)
+        entry = self.table.lookup(bank, subarray, index)
+        if entry is not None:
+            # Near-segment hit: activate the near row alone, very fast.
+            return ActivationPlan(
+                kind=CommandKind.ACT,
+                rows=(RowId.copy(subarray, entry.way),),
+                timings=self._near_timings,
+            )
+        victim = self.table.free_entry(bank, subarray)
+        if victim is None:
+            victim = self.table.lru_entry(bank, subarray, EntryOwner.CACHE)
+        if victim is None:
+            return ActivationPlan(
+                kind=CommandKind.ACT, rows=(regular,), timings=self._far_timings
+            )
+        return ActivationPlan(
+            kind=CommandKind.ACT_C,
+            rows=(regular, RowId.copy(subarray, victim.way)),
+            timings=self._copy_timings,
+        )
+
+    def on_activate(self, bank: int, plan: ActivationPlan, now: int) -> None:
+        """Mechanism hook: an activation command was issued."""
+        if plan.kind is CommandKind.ACT_C:
+            regular, copy = plan.rows
+            entry = self.table.entry_for_copy_row(bank, copy.subarray, copy.index)
+            self.table.allocate(
+                bank, copy.subarray, regular.index, EntryOwner.CACHE, now, entry
+            )
+            entry.is_fully_restored = True
+            self.misses += 1
+            return
+        if plan.rows[0].kind is RowKind.COPY:
+            entry = self.table.entry_for_copy_row(
+                bank, plan.rows[0].subarray, plan.rows[0].index
+            )
+            entry.last_use = now
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def hit_rate(self) -> float:
+        """Fraction of demand activations served as table hits."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Mechanism-specific statistics for the metrics layer."""
+        return {
+            "tldram_hits": self.hits,
+            "tldram_misses": self.misses,
+            "tldram_hit_rate": self.hit_rate(),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero statistics at the warm-up boundary."""
+        self.hits = 0
+        self.misses = 0

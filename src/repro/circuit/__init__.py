@@ -1,0 +1,50 @@
+"""Circuit-level DRAM model (SPICE substitute).
+
+The paper derives the timing parameters of the new ``ACT-t`` and ``ACT-c``
+commands (Table 1, Figures 5 and 6) and the power/area overheads of
+multiple-row activation (Figure 7) from SPICE simulations of a 22 nm DRAM
+cell array with Monte-Carlo process variation. This package replaces SPICE
+with an analytical RC model of the bitline/cell/sense-amplifier system:
+
+* :mod:`repro.circuit.bitline` — charge sharing with *N* cells per bitline,
+* :mod:`repro.circuit.senseamp` — sense-amplifier development and charge
+  restoration dynamics,
+* :mod:`repro.circuit.mra` — multiple-row-activation timing derivation,
+  including the tRCD/tRAS trade-off frontier of Figure 6,
+* :mod:`repro.circuit.montecarlo` — process-variation worst-case extraction,
+* :mod:`repro.circuit.power` / :mod:`repro.circuit.area` — activation power
+  and row-decoder area models.
+
+The model is calibrated against the operating points the paper publishes
+(e.g. a 38% tRCD reduction for two-row activation); see
+:class:`repro.circuit.constants.TechnologyParameters`.
+"""
+
+from repro.circuit.constants import TechnologyParameters
+from repro.circuit.bitline import BitlineModel
+from repro.circuit.senseamp import SenseAmpModel
+from repro.circuit.mra import (
+    CrowTimingFactors,
+    MraTimings,
+    MraModel,
+    TradeoffPoint,
+    derive_crow_timing_factors,
+)
+from repro.circuit.montecarlo import MonteCarloAnalyzer, MonteCarloResult
+from repro.circuit.power import activation_power_overhead
+from repro.circuit.area import DecoderAreaModel
+
+__all__ = [
+    "TechnologyParameters",
+    "BitlineModel",
+    "SenseAmpModel",
+    "CrowTimingFactors",
+    "MraTimings",
+    "MraModel",
+    "TradeoffPoint",
+    "derive_crow_timing_factors",
+    "MonteCarloAnalyzer",
+    "MonteCarloResult",
+    "activation_power_overhead",
+    "DecoderAreaModel",
+]

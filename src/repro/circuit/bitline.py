@@ -1,0 +1,103 @@
+"""Charge-sharing model of a DRAM bitline with *N* attached cells.
+
+During activation, enabling a wordline connects a cell capacitor to the
+precharged bitline (held at VDD/2) and the two share charge, perturbing the
+bitline by a small voltage ``delta_v``. Multiple-row activation (MRA)
+connects *N* cells holding the same data to the bitline at once, producing a
+proportionally larger perturbation — the physical effect that lets ``ACT-t``
+sense faster than a conventional ``ACT`` (paper Section 3.1, Figure 5a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.constants import TechnologyParameters
+from repro.errors import ConfigError
+
+__all__ = ["BitlineModel"]
+
+
+@dataclass(frozen=True)
+class BitlineModel:
+    """Analytical charge-sharing behaviour of one bitline.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants (capacitances, rails).
+    """
+
+    tech: TechnologyParameters = TechnologyParameters()
+
+    def shared_voltage(self, n_cells: int, cell_fraction: float) -> float:
+        """Bitline voltage after charge sharing with ``n_cells`` cells.
+
+        ``cell_fraction`` is the per-cell stored voltage as a fraction of
+        VDD (1.0 for a fully-restored '1'). All cells are assumed to hold
+        the same data, as guaranteed by the CROW substrate.
+        """
+        self._check_cells(n_cells)
+        tech = self.tech
+        c_cell = tech.cell_capacitance_ff * n_cells
+        c_bitline = tech.bitline_capacitance_ff
+        v_precharge = tech.vdd_volts / 2.0
+        v_cell = cell_fraction * tech.vdd_volts
+        return (c_bitline * v_precharge + c_cell * v_cell) / (c_bitline + c_cell)
+
+    def delta_v(self, n_cells: int, cell_fraction: float = 1.0) -> float:
+        """Charge-sharing perturbation relative to the precharge level.
+
+        Positive for a stored '1'; a stored '0' is symmetric, so callers
+        work with the magnitude. Larger ``delta_v`` means faster sensing.
+        """
+        return self.shared_voltage(n_cells, cell_fraction) - self.tech.vdd_volts / 2.0
+
+    def sensible(self, n_cells: int, cell_fraction: float) -> bool:
+        """Whether the perturbation is large enough for reliable sensing."""
+        return abs(self.delta_v(n_cells, cell_fraction)) >= self.tech.sense_threshold_v
+
+    def minimum_cell_fraction(self, n_cells: int) -> float:
+        """Smallest per-cell voltage fraction that still senses reliably.
+
+        Inverts :meth:`delta_v` at the sense threshold. This is the charge
+        floor below which data is lost — the quantity that bounds both
+        partial restoration and retention time.
+        """
+        self._check_cells(n_cells)
+        tech = self.tech
+        c_cell = tech.cell_capacitance_ff * n_cells
+        c_bitline = tech.bitline_capacitance_ff
+        v_min = (
+            tech.vdd_volts / 2.0
+            + tech.sense_threshold_v * (c_bitline + c_cell) / c_cell
+        )
+        return v_min / tech.vdd_volts
+
+    def retention_time_ms(self, n_cells: int, cell_fraction: float) -> float:
+        """Worst-case retention of data stored in ``n_cells`` duplicate cells.
+
+        Cell voltage decays exponentially toward ground with a leakage time
+        constant calibrated so that a single fully-restored cell retains
+        data for exactly ``tech.retention_base_ms`` (the standard refresh
+        window with margin). Storing the same bit in more cells, or with
+        more charge, extends retention — the effect CROW-cache relies on to
+        terminate restoration early (paper Section 4.1.3).
+        """
+        import math
+
+        tech = self.tech
+        v_floor_single = self.minimum_cell_fraction(1) * tech.vdd_volts
+        leak_tau_ms = tech.retention_base_ms / math.log(
+            tech.full_restore_fraction * tech.vdd_volts / v_floor_single
+        )
+        v_start = cell_fraction * tech.vdd_volts
+        v_floor = self.minimum_cell_fraction(n_cells) * tech.vdd_volts
+        if v_start <= v_floor:
+            return 0.0
+        return leak_tau_ms * math.log(v_start / v_floor)
+
+    @staticmethod
+    def _check_cells(n_cells: int) -> None:
+        if n_cells < 1:
+            raise ConfigError(f"n_cells must be >= 1, got {n_cells}")

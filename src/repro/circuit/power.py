@@ -1,0 +1,32 @@
+"""Activation power overhead of multiple-row activation (Figure 7, left).
+
+Simultaneously activating N rows drives N wordlines and restores N cell
+capacitors per bitline, but because all cells hold the same data the
+restored *charge* largely overlaps; the paper's circuit simulations find a
+5.8% activation-power overhead for two rows, dominated by the extra copy-row
+decoder, growing roughly linearly with additional rows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["activation_power_overhead", "TWO_ROW_OVERHEAD"]
+
+#: Measured two-row activation power overhead from the paper (Section 6.2).
+TWO_ROW_OVERHEAD = 0.058
+
+
+def activation_power_overhead(
+    n_rows: int, per_row_overhead: float = TWO_ROW_OVERHEAD
+) -> float:
+    """Activation power of ``n_rows``-row MRA relative to a single ACT.
+
+    Returns a multiplier (1.0 for conventional activation, 1.058 for the
+    two-row ``ACT-t`` / ``ACT-c`` commands with the default calibration).
+    """
+    if n_rows < 1:
+        raise ConfigError(f"n_rows must be >= 1, got {n_rows}")
+    if per_row_overhead < 0.0:
+        raise ConfigError("per_row_overhead must be non-negative")
+    return 1.0 + per_row_overhead * (n_rows - 1)

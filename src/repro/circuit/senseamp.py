@@ -1,0 +1,103 @@
+"""Sense-amplifier development and charge-restoration dynamics.
+
+Two phases of a DRAM activation are modelled:
+
+1. **Development (sensing)** — the cross-coupled latch amplifies the
+   charge-sharing perturbation ``delta_v`` to a full swing. The development
+   time is inversely proportional to ``delta_v`` (first-order model of the
+   pre-regeneration linear phase, where latch current is ``gm * delta_v``).
+   This phase ends at the *ready-to-access* point, defining tRCD.
+
+2. **Restoration** — the latch drives the bitline and all attached cell
+   capacitors back to full rail. The exponential time constant grows with
+   the attached capacitance ``C_bitline + N * C_cell``, which is why MRA
+   *lengthens* restoration even as it shortens sensing (Figure 5b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.bitline import BitlineModel
+from repro.circuit.constants import TechnologyParameters
+from repro.errors import ConfigError
+
+__all__ = ["SenseAmpModel"]
+
+
+@dataclass(frozen=True)
+class SenseAmpModel:
+    """Analytical sense-amplifier timing for one subarray's row buffer."""
+
+    tech: TechnologyParameters = TechnologyParameters()
+
+    @property
+    def bitline(self) -> BitlineModel:
+        """Charge-sharing model using the same technology constants."""
+        return BitlineModel(self.tech)
+
+    def development_time_ns(self, delta_v: float) -> float:
+        """Time for the latch to develop a readable swing from ``delta_v``."""
+        if delta_v <= 0.0:
+            raise ConfigError("delta_v must be positive for sensing")
+        return self.tech.senseamp_gain_ns_v / delta_v
+
+    def sensing_complete_ns(self, n_cells: int, cell_fraction: float = 1.0) -> float:
+        """Wordline enable + charge sharing + development = tRCD.
+
+        ``cell_fraction`` is the pre-activation charge of the cells; a
+        partially-restored row senses more slowly because its perturbation
+        is smaller (Table 1: -21% instead of -38% for ACT-t).
+        """
+        delta = self.bitline.delta_v(n_cells, cell_fraction)
+        return self.tech.wordline_delay_ns + self.development_time_ns(delta)
+
+    def restoration_tau_ns(self, n_cells: int) -> float:
+        """Exponential restoration time constant with ``n_cells`` attached."""
+        ratio = self.tech.capacitance_ratio
+        return self.tech.restore_resistance_time_ns * (1.0 + n_cells * ratio)
+
+    def restoration_time_ns(
+        self,
+        n_cells: int,
+        target_fraction: float,
+        start_fraction: float | None = None,
+    ) -> float:
+        """Time to drive the cells from ``start_fraction`` to ``target_fraction``.
+
+        When ``start_fraction`` is None, restoration starts from the
+        post-charge-sharing voltage of fully-charged cells. The exponential
+        approach toward VDD gives ``t = tau * ln((VDD - V0) / (VDD - Vt))``.
+        """
+        tech = self.tech
+        vdd = tech.vdd_volts
+        if start_fraction is None:
+            v_start = self.bitline.shared_voltage(n_cells, tech.full_restore_fraction)
+        else:
+            v_start = self.bitline.shared_voltage(n_cells, start_fraction)
+        v_target = target_fraction * vdd
+        if v_target >= vdd:
+            raise ConfigError("target_fraction must be < 1.0 (asymptotic rail)")
+        if v_target <= v_start:
+            return 0.0
+        tau = self.restoration_tau_ns(n_cells)
+        return tau * math.log((vdd - v_start) / (vdd - v_target))
+
+    def write_time_ns(self, n_cells: int, target_fraction: float) -> float:
+        """Write-recovery time (tWR) when driving ``n_cells`` per bitline.
+
+        A write flips the latch and restores the new value into the cells;
+        the path is a fixed I/O + driver portion plus a dynamic portion that
+        scales with the restoration RC and the restoration depth. The
+        constants are anchored so a conventional single-cell full-restore
+        write takes exactly ``tech.twr_ns``.
+        """
+        tech = self.tech
+        if not 0.5 < target_fraction < 1.0:
+            raise ConfigError("target_fraction must be in (0.5, 1.0)")
+        depth = math.log(1.0 / (1.0 - target_fraction))
+        depth_full = math.log(1.0 / (1.0 - tech.full_restore_fraction))
+        tau_ratio = self.restoration_tau_ns(n_cells) / self.restoration_tau_ns(1)
+        dynamic_full = tech.twr_ns - tech.write_fixed_ns
+        return tech.write_fixed_ns + dynamic_full * tau_ratio * depth / depth_full

@@ -1,0 +1,31 @@
+"""Memory controller: request queues, scheduling, refresh, mechanism hooks.
+
+One :class:`ChannelController` per DRAM channel, implementing the paper's
+Table 2 configuration: 64-entry read/write queues, FR-FCFS-Cap scheduling,
+a 75 ns timeout row-buffer policy, and periodic all-bank refresh.
+
+Every CROW mechanism (and every baseline) plugs in through the
+:class:`~repro.controller.mechanism.Mechanism` hook, which decides *how* a
+row activation is performed (plain ``ACT``, reduced-latency ``ACT-t``,
+duplicating ``ACT-c``, a redirect to a remapped copy row, ...), so that
+each experiment in the paper is a configuration swap rather than a new
+controller.
+"""
+
+from repro.controller.request import MemRequest, RequestType
+from repro.controller.mechanism import ActivationPlan, Mechanism, NoMechanism
+from repro.controller.scheduler import FrFcfs, FrFcfsCap, Scheduler
+from repro.controller.controller import ChannelController, ControllerConfig
+
+__all__ = [
+    "MemRequest",
+    "RequestType",
+    "ActivationPlan",
+    "Mechanism",
+    "NoMechanism",
+    "Scheduler",
+    "FrFcfs",
+    "FrFcfsCap",
+    "ChannelController",
+    "ControllerConfig",
+]

@@ -1,0 +1,442 @@
+"""Per-channel memory controller.
+
+Implements the paper's Table 2 controller: 64-entry read and write queues,
+FR-FCFS-Cap scheduling, a 75 ns timeout row-buffer policy, write draining
+with high/low watermarks, periodic all-bank refresh, and the CROW
+mechanism hook for activation planning.
+
+The controller is event-paced: :meth:`ChannelController.tick` issues at
+most one DRAM command (the command bus carries one command per cycle) and
+returns the next cycle at which calling it again can possibly make
+progress, so the simulation loop can skip dead time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.controller.mechanism import ActivationPlan, Mechanism, NoMechanism
+from repro.controller.request import MemRequest, RequestType
+from repro.controller.scheduler import FrFcfsCap, Scheduler
+from repro.dram.commands import Command, CommandKind, RowId
+from repro.dram.device import DramChannel
+from repro.dram.timing import REF_COMMANDS_PER_WINDOW
+from repro.errors import ConfigError
+from repro.units import ns_to_cycles
+
+__all__ = ["ControllerConfig", "ChannelController"]
+
+#: Sentinel wake time for "nothing to do until an external event".
+IDLE = 1 << 62
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller structure and policy parameters (Table 2 defaults)."""
+
+    read_queue_size: int = 64
+    write_queue_size: int = 64
+    write_drain_high: int = 48
+    write_drain_low: int = 16
+    fr_fcfs_cap: int = 4
+    #: Timeout row policy: close an open row after this long without
+    #: pending requests to it. ``None`` selects an open-page policy.
+    row_timeout_ns: float | None = 75.0
+    #: Maximum ranked candidates evaluated for readiness per tick.
+    scheduler_window: int = 12
+    #: Enable store-to-load forwarding from the write queue.
+    write_forwarding: bool = True
+
+    def __post_init__(self) -> None:
+        if self.read_queue_size < 1 or self.write_queue_size < 1:
+            raise ConfigError("queue sizes must be >= 1")
+        if not 0 < self.write_drain_low <= self.write_drain_high:
+            raise ConfigError("invalid write drain watermarks")
+        if self.write_drain_high > self.write_queue_size:
+            raise ConfigError("drain_high cannot exceed the write queue size")
+        if self.scheduler_window < 1:
+            raise ConfigError("scheduler_window must be >= 1")
+
+
+class ChannelController:
+    """Scheduler + state machine for one DRAM channel."""
+
+    def __init__(
+        self,
+        channel: DramChannel,
+        mechanism: Mechanism | None = None,
+        scheduler: Scheduler | None = None,
+        config: ControllerConfig | None = None,
+        schedule_event: Callable[[int, Callable[[], None]], None] | None = None,
+        refresh_enabled: bool = True,
+    ) -> None:
+        self.channel = channel
+        self.geometry = channel.geometry
+        self.timing = channel.timing
+        self.config = config if config is not None else ControllerConfig()
+        self.mechanism = (
+            mechanism
+            if mechanism is not None
+            else NoMechanism(self.geometry, self.timing)
+        )
+        self.scheduler = (
+            scheduler if scheduler is not None else FrFcfsCap(self.config.fr_fcfs_cap)
+        )
+        self.schedule_event = schedule_event
+        self.refresh_enabled = refresh_enabled
+
+        self.read_q: list[MemRequest] = []
+        self.write_q: list[MemRequest] = []
+        self.drain_mode = False
+        self.next_ref = self.timing.trefi if refresh_enabled else IDLE
+        self.refresh_backlog = 0
+        self.hit_streak = [0] * self.geometry.banks_per_channel
+        self.bank_last_use = [0] * self.geometry.banks_per_channel
+        self.bank_pending = [0] * self.geometry.banks_per_channel
+        if self.config.row_timeout_ns is None:
+            self.row_timeout = None
+        else:
+            self.row_timeout = ns_to_cycles(
+                self.config.row_timeout_ns, self.timing.clock_mhz
+            )
+
+        # Statistics.
+        self.stats = {
+            "reads_served": 0,
+            "writes_served": 0,
+            "row_hits": 0,
+            "row_misses": 0,
+            "row_conflicts": 0,
+            "forwarded_reads": 0,
+            "restore_activations": 0,
+            "refreshes": 0,
+            "read_latency_sum": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Request admission
+    # ------------------------------------------------------------------
+    def can_accept(self, type: RequestType) -> bool:
+        """Whether the queue for ``type`` has a free slot."""
+        if type is RequestType.READ:
+            return len(self.read_q) < self.config.read_queue_size
+        return len(self.write_q) < self.config.write_queue_size
+
+    def enqueue(self, request: MemRequest, now: int) -> bool:
+        """Accept a request; returns False when the queue is full."""
+        if not self.can_accept(request.type):
+            return False
+        request.arrival = now
+        if request.type is RequestType.READ:
+            if self.config.write_forwarding:
+                for pending in self.write_q:
+                    if pending.address == request.address:
+                        self.stats["forwarded_reads"] += 1
+                        self._complete(request, now + self.timing.tcl)
+                        return True
+            self.read_q.append(request)
+        else:
+            self.write_q.append(request)
+            if len(self.write_q) >= self.config.write_drain_high:
+                self.drain_mode = True
+        self.bank_pending[request.location.bank] += 1
+        return True
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently waiting in both queues."""
+        return len(self.read_q) + len(self.write_q)
+
+    # ------------------------------------------------------------------
+    # Main issue loop
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> int:
+        """Issue at most one command; return the next useful wake time."""
+        if self.refresh_enabled and now >= self.next_ref:
+            return self._do_refresh(now)
+
+        urgent = self.mechanism.urgent_plan(now)
+        if urgent is not None:
+            wake = self._serve_urgent(urgent, now)
+            if wake is not None:
+                return wake
+
+        queue = self._active_queue()
+        if queue:
+            issued, earliest = self._serve_queue(queue, now)
+            if issued:
+                return now + 1
+            wake = earliest
+        else:
+            wake = IDLE
+
+        timeout_wake = self._apply_row_timeout(now)
+        return max(now + 1, min(wake, timeout_wake, self.next_ref))
+
+    # ------------------------------------------------------------------
+    # Refresh handling
+    # ------------------------------------------------------------------
+    def _do_refresh(self, now: int) -> int:
+        """Progress toward the pending REF; return the next wake time."""
+        # Precharge any open bank first (one PRE per tick).
+        for bank_index, bank in enumerate(self.channel.banks):
+            if not bank.is_open:
+                continue
+            pre = self._pre_command_for_bank(bank_index)
+            earliest = self.channel.earliest_issue(pre)
+            if earliest <= now:
+                self._issue_pre(pre, now)
+                return now + 1
+            return earliest
+        ref = Command(CommandKind.REF)
+        earliest = self.channel.earliest_issue(ref)
+        if earliest > now:
+            return earliest
+        cursor = self.channel.refresh_cursor
+        rows_per_ref = max(1, self.geometry.rows_per_bank // REF_COMMANDS_PER_WINDOW)
+        self.channel.issue(ref, now)
+        self.stats["refreshes"] += 1
+        self.mechanism.on_refresh(range(cursor, cursor + rows_per_ref), now)
+        self.next_ref += self.timing.trefi
+        return self.channel.ref_busy_until
+
+    # ------------------------------------------------------------------
+    # Mechanism-initiated (urgent) activations
+    # ------------------------------------------------------------------
+    def _serve_urgent(
+        self, urgent: tuple[int, ActivationPlan], now: int
+    ) -> int | None:
+        """Issue one command toward an urgent plan; return the wake time,
+        or None to fall through to normal queue service this tick."""
+        bank_index, plan = urgent
+        bank = self.channel.banks[bank_index]
+        if bank.is_open:
+            pre = self._pre_command_for_bank(bank_index)
+            earliest = self.channel.earliest_issue(pre)
+            if earliest <= now:
+                self._issue_pre(pre, now)
+                return now + 1
+            return earliest
+        command = Command(
+            plan.kind, bank=bank_index, rows=plan.rows, timings=plan.timings
+        )
+        earliest = self.channel.earliest_issue(command)
+        if earliest <= now:
+            self.channel.issue(command, now)
+            self.hit_streak[bank_index] = 0
+            self.bank_last_use[bank_index] = now
+            self.mechanism.on_activate(bank_index, plan, now)
+            return now + 1
+        return earliest
+
+    # ------------------------------------------------------------------
+    # Queue service
+    # ------------------------------------------------------------------
+    def _active_queue(self) -> list[MemRequest]:
+        if self.drain_mode:
+            if len(self.write_q) <= self.config.write_drain_low:
+                self.drain_mode = False
+            else:
+                return self.write_q
+        if self.read_q:
+            return self.read_q
+        return self.write_q
+
+    def _serve_queue(
+        self, queue: list[MemRequest], now: int
+    ) -> tuple[bool, int]:
+        """Try to issue one command for the highest-priority ready request.
+
+        Returns ``(issued, earliest)`` where ``earliest`` is the soonest
+        time any evaluated candidate could have issued (IDLE if none).
+        """
+        earliest_any = IDLE
+        evaluated = 0
+        for request in self.scheduler.ranked(
+            queue, self._is_row_hit, self._streak_of
+        ):
+            command, plan = self._next_command(request, now)
+            earliest = self.channel.earliest_issue(command)
+            if earliest <= now:
+                self._issue_for_request(request, command, plan, now)
+                return True, now
+            earliest_any = min(earliest_any, earliest)
+            evaluated += 1
+            if evaluated >= self.config.scheduler_window:
+                break
+        return False, earliest_any
+
+    def _is_row_hit(self, request: MemRequest) -> bool:
+        bank = request.location.bank
+        srow = self.mechanism.service_row(bank, request.location.row)
+        open_rows = self._open_rows(bank, srow)
+        return open_rows is not None and srow in open_rows
+
+    def _streak_of(self, request: MemRequest) -> int:
+        return self.hit_streak[request.location.bank]
+
+    def _next_command(
+        self, request: MemRequest, now: int
+    ) -> tuple[Command, ActivationPlan | None]:
+        """The next DRAM command needed to advance ``request``.
+
+        ``plan_activation`` must be side-effect free: the controller may
+        evaluate several candidates per tick and re-plan on later ticks;
+        mechanisms mutate their state only in ``on_activate``.
+        """
+        bank = request.location.bank
+        srow = self.mechanism.service_row(bank, request.location.row)
+        open_rows = self._open_rows(bank, srow)
+        if open_rows is not None and srow in open_rows:
+            kind = (
+                CommandKind.RD
+                if request.type is RequestType.READ
+                else CommandKind.WR
+            )
+            return (
+                Command(
+                    kind,
+                    bank=bank,
+                    col=request.location.col,
+                    subarray=srow.subarray if self.channel.salp else None,
+                ),
+                None,
+            )
+        if open_rows is not None:
+            return self._pre_command(bank, srow.subarray), None
+        plan = self.mechanism.plan_activation(bank, request.location.row, now)
+        return (
+            Command(plan.kind, bank=bank, rows=plan.rows, timings=plan.timings),
+            plan,
+        )
+
+    def _issue_for_request(
+        self,
+        request: MemRequest,
+        command: Command,
+        plan: ActivationPlan | None,
+        now: int,
+    ) -> None:
+        bank = command.bank
+        kind = command.kind
+        if kind in (CommandKind.RD, CommandKind.WR):
+            result = self.channel.issue(command, now)
+            self.hit_streak[bank] += 1
+            self.bank_last_use[bank] = now
+            self.stats["row_hits"] += 1
+            self._dequeue(request)
+            if kind is CommandKind.RD:
+                self.stats["reads_served"] += 1
+                self._complete(request, result.data_at)
+            else:
+                self.stats["writes_served"] += 1
+                self._complete(request, result.done_at)
+        elif kind is CommandKind.PRE:
+            result = self.channel.issue(command, now)
+            self.hit_streak[bank] = 0
+            self.stats["row_conflicts"] += 1
+            assert result.precharge is not None
+            self.mechanism.on_precharge(bank, result.precharge, now)
+        else:  # activation
+            assert plan is not None
+            self.channel.issue(command, now)
+            self.hit_streak[bank] = 0
+            self.bank_last_use[bank] = now
+            self.stats["row_misses"] += 1
+            if plan.is_restore:
+                self.stats["restore_activations"] += 1
+            self.mechanism.on_activate(bank, plan, now)
+
+    def _dequeue(self, request: MemRequest) -> None:
+        queue = self.read_q if request.type is RequestType.READ else self.write_q
+        queue.remove(request)
+        self.bank_pending[request.location.bank] -= 1
+
+    def _complete(self, request: MemRequest, finish: int) -> None:
+        request.completed_at = finish
+        if request.type is RequestType.READ:
+            self.stats["read_latency_sum"] += finish - request.arrival
+        if request.callback is None:
+            return
+        if self.schedule_event is None:
+            request.callback(request, finish)
+        else:
+            self.schedule_event(finish, lambda: request.callback(request, finish))
+
+    # ------------------------------------------------------------------
+    # Row-buffer policy
+    # ------------------------------------------------------------------
+    def _apply_row_timeout(self, now: int) -> int:
+        """Close idle open rows after the timeout; return next expiry."""
+        if self.row_timeout is None:
+            return IDLE
+        next_expiry = IDLE
+        for bank_index, bank in enumerate(self.channel.banks):
+            if not bank.is_open:
+                continue
+            if self._bank_has_pending(bank_index):
+                continue
+            expiry = self.bank_last_use[bank_index] + self.row_timeout
+            if expiry > now:
+                next_expiry = min(next_expiry, expiry)
+                continue
+            pre = self._pre_command_for_bank(bank_index)
+            earliest = self.channel.earliest_issue(pre)
+            if earliest <= now:
+                self._issue_pre(pre, now)
+                return now + 1
+            next_expiry = min(next_expiry, earliest)
+        return next_expiry
+
+    def _bank_has_pending(self, bank_index: int) -> bool:
+        return self.bank_pending[bank_index] > 0
+
+    def _issue_pre(self, pre: Command, now: int) -> None:
+        result = self.channel.issue(pre, now)
+        self.hit_streak[pre.bank] = 0
+        assert result.precharge is not None
+        self.mechanism.on_precharge(pre.bank, result.precharge, now)
+
+    # ------------------------------------------------------------------
+    # SALP-aware helpers
+    # ------------------------------------------------------------------
+    def _open_rows(self, bank_index: int, srow: RowId):
+        bank = self.channel.banks[bank_index]
+        if self.channel.salp:
+            return bank.subarrays[srow.subarray].open_rows
+        return bank.open_rows
+
+    def _pre_command(self, bank_index: int, subarray: int) -> Command:
+        if self.channel.salp:
+            return Command(CommandKind.PRE, bank=bank_index, subarray=subarray)
+        return Command(CommandKind.PRE, bank=bank_index)
+
+    def _pre_command_for_bank(self, bank_index: int) -> Command:
+        """A PRE that closes (one of) the bank's open row buffers."""
+        bank = self.channel.banks[bank_index]
+        if self.channel.salp:
+            for subarray, slot in bank.subarrays.items():
+                if slot.is_open:
+                    return Command(
+                        CommandKind.PRE, bank=bank_index, subarray=subarray
+                    )
+            raise ConfigError("no open subarray to precharge")
+        return Command(CommandKind.PRE, bank=bank_index)
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    @property
+    def average_read_latency(self) -> float:
+        """Mean arrival-to-data latency of served reads."""
+        served = self.stats["reads_served"] + self.stats["forwarded_reads"]
+        if not served:
+            return 0.0
+        return self.stats["read_latency_sum"] / served
+
+    def row_hit_rate(self) -> float:
+        """Column accesses served from open rows, as a fraction."""
+        hits = self.stats["row_hits"]
+        total = hits + self.stats["row_misses"] + self.stats["row_conflicts"]
+        return hits / total if total else 0.0

@@ -1,0 +1,71 @@
+"""Memory request representation."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.dram.address import DramAddress
+
+__all__ = ["RequestType", "MemRequest"]
+
+
+class RequestType(enum.IntEnum):
+    """Read or write request."""
+    READ = 0
+    WRITE = 1
+
+
+class MemRequest:
+    """One cache-line request from the processor side.
+
+    ``callback(request, finish_cycle)`` fires when the data transfer
+    completes (reads) or the write is accepted by the device. Prefetch
+    requests are ordinary reads whose completion nobody blocks on.
+    """
+
+    __slots__ = (
+        "type",
+        "address",
+        "location",
+        "core_id",
+        "arrival",
+        "callback",
+        "is_prefetch",
+        "issued_at",
+        "completed_at",
+    )
+
+    def __init__(
+        self,
+        type: RequestType,
+        address: int,
+        location: DramAddress,
+        core_id: int = 0,
+        arrival: int = 0,
+        callback: Callable[["MemRequest", int], None] | None = None,
+        is_prefetch: bool = False,
+    ) -> None:
+        self.type = type
+        self.address = address
+        self.location = location
+        self.core_id = core_id
+        self.arrival = arrival
+        self.callback = callback
+        self.is_prefetch = is_prefetch
+        self.issued_at: int | None = None
+        self.completed_at: int | None = None
+
+    @property
+    def latency(self) -> int | None:
+        """Arrival-to-completion latency in memory cycles, once finished."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemRequest({self.type.name}, 0x{self.address:x}, "
+            f"bank={self.location.bank}, row={self.location.row}, "
+            f"core={self.core_id}, t={self.arrival})"
+        )

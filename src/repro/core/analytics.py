@@ -1,0 +1,110 @@
+"""Closed-form CROW analytics: Equations 1-4 of the paper.
+
+These back both the weak-row feasibility argument for CROW-ref
+(Section 4.2.1) and the CROW-table storage-overhead accounting
+(Section 6.1). ``benchmarks/bench_sec4_weak_row_probability.py`` and
+``bench_sec6_overheads.py`` print the paper's published values next to
+these functions' outputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "p_weak_row",
+    "p_subarray_exceeds",
+    "crow_table_entry_bits",
+    "crow_table_storage_bits",
+    "crow_table_storage_kib",
+]
+
+
+def p_weak_row(bit_error_rate: float, cells_per_row: int) -> float:
+    """Eq. 1: probability that a row contains at least one weak cell."""
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ConfigError("bit_error_rate must be a probability")
+    if cells_per_row < 1:
+        raise ConfigError("cells_per_row must be >= 1")
+    return 1.0 - (1.0 - bit_error_rate) ** cells_per_row
+
+
+def p_subarray_exceeds(n: int, rows_per_subarray: int, p_row: float) -> float:
+    """Eq. 2: probability a subarray has *more than* ``n`` weak rows.
+
+    Computed as ``1 - sum_{k=0}^{n} C(N, k) p^k (1-p)^(N-k)``. For the very
+    small tail probabilities the paper reports (down to 3e-11) the
+    complementary sum loses precision in floating point, so the tail is
+    summed directly once it is small enough.
+    """
+    if n < 0:
+        raise ConfigError("n must be >= 0")
+    if rows_per_subarray < 1:
+        raise ConfigError("rows_per_subarray must be >= 1")
+    if not 0.0 <= p_row <= 1.0:
+        raise ConfigError("p_row must be a probability")
+    head = sum(
+        math.comb(rows_per_subarray, k)
+        * p_row**k
+        * (1.0 - p_row) ** (rows_per_subarray - k)
+        for k in range(n + 1)
+    )
+    complement = 1.0 - head
+    if complement > 1e-12:
+        return complement
+    # Precision-safe tail sum: terms fall off fast, 64 terms suffice.
+    tail = 0.0
+    for k in range(n + 1, min(rows_per_subarray, n + 64) + 1):
+        tail += (
+            math.comb(rows_per_subarray, k)
+            * p_row**k
+            * (1.0 - p_row) ** (rows_per_subarray - k)
+        )
+    return tail
+
+
+def crow_table_entry_bits(
+    regular_rows_per_subarray: int, special_bits: int = 1
+) -> int:
+    """Eq. 3: storage per CROW-table entry in bits.
+
+    ``ceil(log2(RR))`` bits of RegularRowID pointer, the Special field,
+    and one Allocated bit.
+    """
+    if regular_rows_per_subarray < 2:
+        raise ConfigError("regular_rows_per_subarray must be >= 2")
+    if special_bits < 0:
+        raise ConfigError("special_bits must be >= 0")
+    return math.ceil(math.log2(regular_rows_per_subarray)) + special_bits + 1
+
+
+def crow_table_storage_bits(
+    regular_rows_per_subarray: int,
+    copy_rows_per_subarray: int,
+    subarrays: int,
+    special_bits: int = 1,
+) -> int:
+    """Eq. 4: total CROW-table storage in bits for one channel."""
+    if copy_rows_per_subarray < 0 or subarrays < 1:
+        raise ConfigError("invalid copy row / subarray counts")
+    entry = crow_table_entry_bits(regular_rows_per_subarray, special_bits)
+    return entry * copy_rows_per_subarray * subarrays
+
+
+def crow_table_storage_kib(
+    regular_rows_per_subarray: int = 512,
+    copy_rows_per_subarray: int = 8,
+    subarrays: int = 1024,
+    special_bits: int = 1,
+) -> float:
+    """Eq. 4 in KiB; the paper's configuration gives ~11 KiB per channel.
+
+    (The paper quotes 11.3, counting kilobytes as 1000 bytes: 90112 bits =
+    11264 bytes = 11.26 kB = 11.0 KiB.)
+    """
+    bits = crow_table_storage_bits(
+        regular_rows_per_subarray, copy_rows_per_subarray, subarrays, special_bits
+    )
+    return bits / 8.0 / 1024.0

@@ -1,0 +1,139 @@
+"""The full CROW substrate: cache + ref + RowHammer, simultaneously.
+
+The paper's central flexibility claim (Section 1, contributions list) is
+that one CROW substrate hosts *multiple* mechanisms at the same time: the
+CROW-table's Special/owner bits say what each copy row is used for. This
+mechanism composes all three on one copy-row pool:
+
+* **CROW-ref** profiles at boot and pins copy rows for weak-row remaps
+  (priority: correctness first — refresh extension needs every weak row
+  covered),
+* the **RowHammer mitigation** pins copy rows at runtime for detected
+  victim rows (urgent ``ACT-c`` copies, served ahead of demand traffic),
+* **CROW-cache** uses whatever remains for in-DRAM caching.
+
+Row-service priority on activation: hammer remap → ref remap → cache.
+"""
+
+from __future__ import annotations
+
+from repro.controller.mechanism import ActivationPlan, Mechanism
+from repro.dram.commands import CommandKind, RowId, RowKind
+from repro.dram.retention import RetentionModel
+from repro.dram.timing import CrowTimings, TimingParameters
+from repro.core.cache import CrowCache
+from repro.core.ref import CrowRef
+from repro.core.rowhammer import RowHammerMitigation
+from repro.core.table import CrowTable
+
+__all__ = ["CrowFullSubstrate"]
+
+
+class CrowFullSubstrate(Mechanism):
+    """CROW-cache + CROW-ref + RowHammer mitigation on one table."""
+
+    name = "crow-full"
+
+    def __init__(
+        self,
+        geometry,
+        timing: TimingParameters,
+        retention: RetentionModel,
+        crow: CrowTimings | None = None,
+        channel: int = 0,
+        base_window_ms: float = 64.0,
+        hammer_threshold: int = 2000,
+        allow_partial_restore: bool = True,
+        reduced_twr: bool = True,
+        act_c_early_termination: bool = True,
+        evict_partial: str = "bypass",
+    ) -> None:
+        super().__init__(geometry, timing)
+        self.table = CrowTable(geometry)
+        self.ref = CrowRef(
+            geometry, timing, retention, table=self.table, crow=crow,
+            channel=channel, base_window_ms=base_window_ms,
+        )
+        self.hammer = RowHammerMitigation(
+            geometry, timing, table=self.table, crow=crow,
+            hammer_threshold=hammer_threshold,
+        )
+        self.cache = CrowCache(
+            geometry, timing, crow=crow, table=self.table,
+            allow_partial_restore=allow_partial_restore,
+            reduced_twr=reduced_twr,
+            act_c_early_termination=act_c_early_termination,
+            evict_partial=evict_partial,
+        )
+
+    @property
+    def achieved_refresh_window_ms(self) -> float:
+        """The refresh window this channel safely runs at."""
+        return self.ref.achieved_refresh_window_ms
+
+    # ------------------------------------------------------------------
+    # Mechanism interface
+    # ------------------------------------------------------------------
+    def service_row(self, bank: int, row: int) -> RowId:
+        """Physical row that serves requests for ``row`` (remap-aware)."""
+        mapped = self.hammer.remap.get((bank, row))
+        if mapped is not None:
+            return mapped
+        return self.ref.service_row(bank, row)
+
+    def plan_activation(self, bank: int, row: int, now: int) -> ActivationPlan:
+        """Mechanism hook: choose the activation command for ``row``."""
+        if (bank, row) in self.hammer.remap or (bank, row) in self.ref.remap:
+            return ActivationPlan(
+                kind=CommandKind.ACT, rows=(self.service_row(bank, row),)
+            )
+        return self.cache.plan_activation(bank, row, now)
+
+    def urgent_plan(self, now: int):
+        """Mechanism hook: next mechanism-initiated activation, if any."""
+        return self.hammer.urgent_plan(now)
+
+    def _is_hammer_victim_copy(self, bank: int, plan: ActivationPlan) -> bool:
+        if plan.kind is not CommandKind.ACT_C or not self.hammer._urgent:
+            return False
+        bank_row = plan.rows[0].bank_row(self.geometry.rows_per_subarray)
+        return self.hammer._urgent[0] == (bank, bank_row)
+
+    def on_activate(self, bank: int, plan: ActivationPlan, now: int) -> None:
+        """Mechanism hook: an activation command was issued."""
+        if self._is_hammer_victim_copy(bank, plan):
+            self.hammer.on_activate(bank, plan, now)
+            return
+        # Feed the hammer detector with every regular-row activation.
+        first = plan.rows[0]
+        if first.kind is RowKind.REGULAR:
+            self.hammer.note_activation(
+                bank, first.bank_row(self.geometry.rows_per_subarray), now
+            )
+        if plan.kind is CommandKind.ACT and first.kind is RowKind.COPY:
+            return      # ref/hammer redirect: nothing to account
+        self.cache.on_activate(bank, plan, now)
+
+    def on_precharge(self, bank: int, result, now: int) -> None:
+        """Mechanism hook: a precharge closed ``result.rows``."""
+        self.cache.on_precharge(bank, result, now)
+
+    def on_refresh(self, refreshed_rows: range, now: int) -> None:
+        """Mechanism hook: a REF covered ``refreshed_rows``."""
+        self.cache.on_refresh(refreshed_rows, now)
+        self.hammer.on_refresh(refreshed_rows, now)
+
+    def hit_rate(self) -> float:
+        """Fraction of demand activations served as table hits."""
+        return self.cache.hit_rate()
+
+    def stats(self) -> dict[str, float]:
+        """Mechanism-specific statistics for the metrics layer."""
+        merged = self.cache.stats()
+        merged.update(self.ref.stats())
+        merged.update(self.hammer.stats())
+        return merged
+
+    def reset_stats(self) -> None:
+        """Zero statistics at the warm-up boundary."""
+        self.cache.reset_stats()

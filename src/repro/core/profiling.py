@@ -1,0 +1,117 @@
+"""Retention profiling (Sections 4.2.1 and 4.2.3).
+
+:class:`RetentionProfiler` models the boot-time and periodic profiling
+passes CROW-ref relies on (REAPER-style [87]): a profiling pass queries the
+retention oracle for every subarray, and periodic re-profiling discovers
+variable-retention-time (VRT) rows that became weak after boot. VRT
+discovery feeds :meth:`repro.core.ref.CrowRef.request_remap`.
+
+The module also exposes the *coverage* arithmetic behind multi-round
+profiling: a single pass with one data pattern misses data-dependent weak
+cells, so profilers run several rounds and/or test at aggressive
+conditions; :func:`profiling_coverage` and :func:`recommended_rounds`
+quantify the residual-miss risk that CROW-ref's fallback must absorb.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.retention import RetentionModel
+from repro.errors import ConfigError
+
+__all__ = ["RetentionProfiler", "profiling_coverage", "recommended_rounds"]
+
+#: Probability that one profiling round (one data pattern / condition
+#: combination) exposes a given weak cell. REAPER-style profiling at
+#: aggressive conditions pushes per-round coverage high.
+DEFAULT_ROUND_COVERAGE = 0.75
+
+
+def profiling_coverage(
+    rounds: int, round_coverage: float = DEFAULT_ROUND_COVERAGE
+) -> float:
+    """Fraction of weak cells found after ``rounds`` independent rounds."""
+    if rounds < 0:
+        raise ConfigError("rounds must be non-negative")
+    if not 0.0 < round_coverage <= 1.0:
+        raise ConfigError("round_coverage must be in (0, 1]")
+    return 1.0 - (1.0 - round_coverage) ** rounds
+
+
+def recommended_rounds(
+    target_coverage: float = 0.999,
+    round_coverage: float = DEFAULT_ROUND_COVERAGE,
+) -> int:
+    """Rounds needed so at most ``1 - target_coverage`` weak cells escape."""
+    if not 0.0 < target_coverage < 1.0:
+        raise ConfigError("target_coverage must be in (0, 1)")
+    if not 0.0 < round_coverage < 1.0:
+        raise ConfigError("round_coverage must be in (0, 1)")
+    return max(
+        1,
+        math.ceil(
+            math.log(1.0 - target_coverage) / math.log(1.0 - round_coverage)
+        ),
+    )
+
+
+class RetentionProfiler:
+    """Boot-time and periodic retention profiling for one channel."""
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        retention: RetentionModel,
+        channel: int = 0,
+        vrt_rate_per_pass: float = 0.0,
+        seed: int = 11,
+    ) -> None:
+        if vrt_rate_per_pass < 0.0:
+            raise ConfigError("vrt_rate_per_pass must be non-negative")
+        self.geometry = geometry
+        self.retention = retention
+        self.channel = channel
+        self.vrt_rate_per_pass = vrt_rate_per_pass
+        self._rng = np.random.default_rng(seed)
+        self.passes = 0
+        self._vrt_rows: set[tuple[int, int]] = set()
+
+    def boot_profile(self) -> dict[tuple[int, int], frozenset[int]]:
+        """Full-device profile: weak regular rows per (bank, subarray)."""
+        self.passes += 1
+        result = {}
+        for bank in range(self.geometry.banks_per_channel):
+            for subarray in range(self.geometry.subarrays_per_bank):
+                weak = self.retention.weak_regular_rows(
+                    self.channel, bank, subarray
+                )
+                if weak:
+                    result[(bank, subarray)] = weak
+        return result
+
+    def periodic_profile(self) -> list[tuple[int, int]]:
+        """One re-profiling pass; returns newly-weak (bank, row) pairs.
+
+        VRT cells transition nondeterministically; each pass discovers a
+        Poisson-distributed number of new weak rows across the channel.
+        """
+        self.passes += 1
+        discoveries = []
+        count = int(self._rng.poisson(self.vrt_rate_per_pass))
+        for _ in range(count):
+            bank = int(self._rng.integers(self.geometry.banks_per_channel))
+            row = int(self._rng.integers(self.geometry.rows_per_bank))
+            if (bank, row) in self._vrt_rows:
+                continue
+            self._vrt_rows.add((bank, row))
+            discoveries.append((bank, row))
+        return discoveries
+
+    @property
+    def known_vrt_rows(self) -> frozenset[tuple[int, int]]:
+        """All VRT rows discovered so far."""
+        return frozenset(self._vrt_rows)

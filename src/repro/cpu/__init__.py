@@ -1,0 +1,16 @@
+"""Processor-side models: trace-driven cores, shared LLC, translation,
+and the RPT stride prefetcher used in Figure 12."""
+
+from repro.cpu.cache import CacheConfig, Llc
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.prefetcher import RptPrefetcher
+from repro.cpu.translation import VirtualMemory
+
+__all__ = [
+    "CacheConfig",
+    "Llc",
+    "Core",
+    "CoreConfig",
+    "RptPrefetcher",
+    "VirtualMemory",
+]

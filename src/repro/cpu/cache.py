@@ -1,0 +1,134 @@
+"""Shared last-level cache model.
+
+Table 2 configuration: 8 MiB, 8-way set associative, 64 B lines, LRU,
+write-back / write-allocate. The model is allocate-on-access (the line is
+installed when the miss is issued; data arrives later through the core's
+MSHR bookkeeping), the standard simplification for trace-driven DRAM
+studies — miss *counts* and writeback traffic are exact, and those are
+what drive the memory system.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.units import MIB
+
+__all__ = ["CacheConfig", "Llc"]
+
+
+class CacheConfig:
+    """LLC geometry and latency."""
+
+    def __init__(
+        self,
+        size_bytes: int = 8 * MIB,
+        ways: int = 8,
+        line_bytes: int = 64,
+        hit_latency: int = 8,
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ConfigError("cache parameters must be positive")
+        if size_bytes % (ways * line_bytes):
+            raise ConfigError("cache size must divide into whole sets")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.sets = size_bytes // (ways * line_bytes)
+        if self.sets & (self.sets - 1):
+            raise ConfigError("set count must be a power of two")
+
+
+class Llc:
+    """Set-associative write-back LLC shared by all cores."""
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config if config is not None else CacheConfig()
+        # Per set: list of [tag, dirty, prefetched] with MRU at index 0.
+        self._sets: list[list[list]] = [[] for _ in range(self.config.sets)]
+        self._offset_bits = self.config.line_bytes.bit_length() - 1
+        self._index_mask = self.config.sets - 1
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.prefetch_fills = 0
+
+    def _locate(self, address: int) -> tuple[list[list], int]:
+        line = address >> self._offset_bits
+        return self._sets[line & self._index_mask], line >> (
+            self._index_mask.bit_length()
+        )
+
+    def access(
+        self, address: int, is_write: bool
+    ) -> tuple[bool, int | None, bool]:
+        """Access one line; returns (hit, writeback_address, was_prefetched).
+
+        On a miss the line is allocated immediately (write-allocate); a
+        dirty eviction returns the physical address to write back.
+        ``was_prefetched`` reports whether a hit consumed a prefetched
+        line for the first time (prefetcher usefulness accounting).
+        """
+        entries, tag = self._locate(address)
+        for position, entry in enumerate(entries):
+            if entry[0] == tag:
+                if position:
+                    entries.insert(0, entries.pop(position))
+                if is_write:
+                    entries[0][1] = True
+                was_prefetched = entries[0][2]
+                entries[0][2] = False
+                self.hits += 1
+                return True, None, was_prefetched
+        self.misses += 1
+        return False, self._fill(address, dirty=is_write), False
+
+    def fill_prefetch(self, address: int) -> int | None:
+        """Install a prefetched line (clean); returns any writeback."""
+        entries, tag = self._locate(address)
+        for entry in entries:
+            if entry[0] == tag:
+                return None
+        self.prefetch_fills += 1
+        return self._fill(address, dirty=False, prefetched=True)
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident."""
+        entries, tag = self._locate(address)
+        return any(entry[0] == tag for entry in entries)
+
+    def _fill(
+        self, address: int, dirty: bool, prefetched: bool = False
+    ) -> int | None:
+        entries, tag = self._locate(address)
+        writeback = None
+        if len(entries) >= self.config.ways:
+            victim_tag, victim_dirty, _ = entries.pop()
+            if victim_dirty:
+                self.writebacks += 1
+                set_index = (address >> self._offset_bits) & self._index_mask
+                victim_line = (
+                    victim_tag << self._index_mask.bit_length()
+                ) | set_index
+                writeback = victim_line << self._offset_bits
+        entries.insert(0, [tag, dirty, prefetched])
+        return writeback
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses (hits + misses)."""
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Demand misses over demand accesses."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero statistics at the warm-up boundary."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.prefetch_fills = 0

@@ -1,0 +1,42 @@
+"""DRAM device substrate — the Ramulator-equivalent device model.
+
+Implements the full device side of an LPDDR4 memory system as cycle-level
+timing state machines:
+
+* :mod:`repro.dram.geometry` — channel/rank/bank/subarray/row organization,
+* :mod:`repro.dram.timing` — LPDDR4 timing parameters with density scaling,
+* :mod:`repro.dram.commands` — the command set, including CROW's new
+  ``ACT-c`` and ``ACT-t`` commands,
+* :mod:`repro.dram.address` — physical-address interleaving,
+* :mod:`repro.dram.bank` / :mod:`repro.dram.device` — per-bank and
+  channel/rank-scope timing enforcement,
+* :mod:`repro.dram.cellarray` — optional functional layer that stores real
+  row contents and charge state, used to verify data-integrity invariants,
+* :mod:`repro.dram.retention` — per-row retention-time model with weak-row
+  injection, feeding CROW-ref.
+"""
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParameters, CrowTimings
+from repro.dram.commands import CommandKind, Command, RowKind, RowId
+from repro.dram.address import AddressMapper, DramAddress
+from repro.dram.bank import BankState
+from repro.dram.device import DramChannel
+from repro.dram.cellarray import CellArray
+from repro.dram.retention import RetentionModel
+
+__all__ = [
+    "DramGeometry",
+    "TimingParameters",
+    "CrowTimings",
+    "CommandKind",
+    "Command",
+    "RowKind",
+    "RowId",
+    "AddressMapper",
+    "DramAddress",
+    "BankState",
+    "DramChannel",
+    "CellArray",
+    "RetentionModel",
+]

@@ -1,0 +1,286 @@
+"""Functional DRAM cell-array model: data, charge, retention, disturbance.
+
+Performance experiments run the timing-only substrate; this layer is
+attached when a test or example needs to *prove* data-integrity behaviour:
+
+* **RowClone semantics** — ``ACT-c`` duplicates the source row's contents
+  into the copy row during restoration.
+* **Partial-restoration safety** — rows closed before full restoration are
+  marked ``requires_pair``; a later *single*-row activation of such a row
+  raises :class:`DataIntegrityError`, the corruption scenario the paper's
+  eviction protocol (Section 4.1.4) must prevent.
+* **Retention expiry** — a live row whose charge has decayed past its
+  retention limit (weak rows under an extended refresh interval) raises on
+  activation, the failure CROW-ref must avoid by remapping.
+* **RowHammer disturbance** — activation counters per row; crossing the
+  hammer threshold within one refresh window flips bits in physically
+  adjacent live rows, the attack the CROW RowHammer mitigation defends
+  against.
+
+Charge/retention arithmetic reuses the circuit model
+(:class:`repro.circuit.BitlineModel`) so the functional and analytical
+layers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.bitline import BitlineModel
+from repro.circuit.constants import TechnologyParameters
+from repro.dram.commands import Command, CommandKind, RowId, RowKind
+from repro.dram.geometry import DramGeometry
+from repro.dram.retention import RetentionModel
+from repro.errors import ConfigError, DataIntegrityError
+
+__all__ = ["CellArray"]
+
+#: Charge fraction left by an early-terminated restoration. Matches the
+#: circuit model's chosen partial-restore operating point.
+PARTIAL_CHARGE_FRACTION = 0.92
+
+
+class CellArray:
+    """Functional contents and electrical state of one channel's cells."""
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        clock_mhz: float = 1600.0,
+        channel: int = 0,
+        retention: RetentionModel | None = None,
+        tech: TechnologyParameters | None = None,
+        hammer_threshold: int | None = None,
+        enforce_retention: bool = True,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise ConfigError("clock_mhz must be positive")
+        self.geometry = geometry
+        self.clock_mhz = clock_mhz
+        self.channel = channel
+        self.retention = retention
+        self.tech = tech if tech is not None else TechnologyParameters()
+        self.bitline = BitlineModel(self.tech)
+        self.hammer_threshold = hammer_threshold
+        self.enforce_retention = enforce_retention
+        self._words_per_row = geometry.row_size_bytes // 8
+
+        self._data: dict[tuple[int, RowId], np.ndarray] = {}
+        self._charge: dict[tuple[int, RowId], float] = {}
+        self._restore_time: dict[tuple[int, RowId], int] = {}
+        self._live: set[tuple[int, RowId]] = set()
+        self._requires_pair: set[tuple[int, RowId]] = set()
+        self._hammer_counts: dict[tuple[int, int], int] = {}
+        self.disturbance_flips = 0
+
+    # ------------------------------------------------------------------
+    # Direct state access (tests / examples)
+    # ------------------------------------------------------------------
+    def key(self, bank: int, row: RowId) -> tuple[int, RowId]:
+        """Dictionary key for one (bank, row) cell-array entry."""
+        return (bank, row)
+
+    def set_row_data(self, bank: int, row: RowId, pattern: int, now: int = 0) -> None:
+        """Fill a row with a 64-bit pattern and mark it live/full."""
+        key = (bank, row)
+        self._data[key] = np.full(self._words_per_row, pattern, dtype=np.uint64)
+        self._charge[key] = self.tech.full_restore_fraction
+        self._restore_time[key] = now
+        self._live.add(key)
+        self._requires_pair.discard(key)
+
+    def row_data(self, bank: int, row: RowId) -> np.ndarray:
+        """Current contents of a row (zeros if never written)."""
+        key = (bank, row)
+        if key not in self._data:
+            self._data[key] = np.zeros(self._words_per_row, dtype=np.uint64)
+        return self._data[key]
+
+    def is_live(self, bank: int, row: RowId) -> bool:
+        """Whether the row holds meaningful (tracked) data."""
+        return (bank, row) in self._live
+
+    def charge_fraction(self, bank: int, row: RowId) -> float:
+        """Current per-cell charge as a fraction of VDD."""
+        return self._charge.get((bank, row), self.tech.full_restore_fraction)
+
+    def requires_pair(self, bank: int, row: RowId) -> bool:
+        """Whether the row is partially restored (single ACT is unsafe)."""
+        return (bank, row) in self._requires_pair
+
+    # ------------------------------------------------------------------
+    # Retention arithmetic
+    # ------------------------------------------------------------------
+    def _cycles_to_ms(self, cycles: int) -> float:
+        return cycles / (self.clock_mhz * 1000.0)
+
+    def _base_retention_ms(self, bank: int, row: RowId) -> float:
+        if self.retention is None:
+            return self.tech.retention_base_ms
+        return self.retention.row_retention_ms(
+            self.channel,
+            bank,
+            row.subarray,
+            row.index,
+            is_copy=row.kind is RowKind.COPY,
+            base_retention_ms=self.tech.retention_base_ms,
+        )
+
+    def _retention_limit_ms(self, bank: int, row: RowId, n_cells: int) -> float:
+        """Retention of the row given its charge and pairing state."""
+        charge = self.charge_fraction(bank, row)
+        scale = self.bitline.retention_time_ms(n_cells, charge) / (
+            self.tech.retention_base_ms
+        )
+        return self._base_retention_ms(bank, row) * scale
+
+    def _check_retention(self, bank: int, row: RowId, now: int, n_cells: int) -> None:
+        key = (bank, row)
+        if not self.enforce_retention or key not in self._live:
+            return
+        elapsed_ms = self._cycles_to_ms(now - self._restore_time.get(key, 0))
+        limit_ms = self._retention_limit_ms(bank, row, n_cells)
+        if elapsed_ms > limit_ms:
+            raise DataIntegrityError(
+                f"bank {bank} row {row}: charge decayed past retention "
+                f"({elapsed_ms:.1f} ms elapsed > {limit_ms:.1f} ms limit)"
+            )
+
+    # ------------------------------------------------------------------
+    # Command hooks (driven by DramChannel)
+    # ------------------------------------------------------------------
+    def on_activate(self, command: Command, now: int) -> None:
+        """Mechanism hook: an activation command was issued."""
+        bank = command.bank
+        rows = command.rows
+        if command.kind is CommandKind.ACT:
+            row = rows[0]
+            if (bank, row) in self._requires_pair and (bank, row) in self._live:
+                raise DataIntegrityError(
+                    f"single-row activation of partially-restored row {row}: "
+                    "data would be corrupted (must use ACT-t with its pair)"
+                )
+            self._check_retention(bank, row, now, n_cells=1)
+        elif command.kind is CommandKind.ACT_T:
+            source, dest = rows
+            self._check_retention(bank, source, now, n_cells=2)
+            src_key, dst_key = (bank, source), (bank, dest)
+            src_live = src_key in self._live
+            dst_live = dst_key in self._live
+            if src_live != dst_live:
+                # One row holds live data, the other holds unknown charge:
+                # simultaneous activation fights the sense amplifier and
+                # corrupts the live row.
+                raise DataIntegrityError(
+                    f"ACT-t pairs live row with non-duplicate "
+                    f"({source} live={src_live}, {dest} live={dst_live})"
+                )
+            if src_live and dst_live:
+                if not np.array_equal(self.row_data(bank, source),
+                                      self.row_data(bank, dest)):
+                    raise DataIntegrityError(
+                        "ACT-t on rows holding different data corrupts both"
+                    )
+        elif command.kind is CommandKind.ACT_C:
+            source, dest = rows
+            if (bank, source) in self._requires_pair and (bank, source) in self._live:
+                raise DataIntegrityError(
+                    f"ACT-c senses row {source} alone before connecting the "
+                    "copy row; the source must be fully restored"
+                )
+            self._check_retention(bank, source, now, n_cells=1)
+            # RowClone semantics: restoration writes source data into dest.
+            self._data[(bank, dest)] = self.row_data(bank, source).copy()
+            if (bank, source) in self._live:
+                self._live.add((bank, dest))
+        self._record_hammer(bank, rows, now)
+
+    def on_read(self, command: Command, now: int) -> None:
+        """Reads happen from the latched row buffer; nothing decays."""
+
+    def on_write(self, command: Command, now: int) -> None:
+        """Mark every open target row live (contents set via row buffer)."""
+        # Device-level writes carry no payload; functional tests set data
+        # through set_row_data. A write still makes the row "live" so that
+        # integrity checking covers it.
+
+    def on_precharge(self, command: Command, now: int, result) -> None:
+        """Mechanism hook: a precharge closed ``result.rows``."""
+        bank = command.bank
+        full = result.fully_restored
+        fraction = (
+            self.tech.full_restore_fraction if full else PARTIAL_CHARGE_FRACTION
+        )
+        paired = len(result.rows) == 2
+        for row in result.rows:
+            key = (bank, row)
+            self._charge[key] = fraction
+            self._restore_time[key] = now
+            if full or not paired:
+                self._requires_pair.discard(key)
+            else:
+                self._requires_pair.add(key)
+
+    def on_refresh(self, rows: range, now: int) -> None:
+        """Fully restore the regular rows in ``rows`` (every bank) and the
+        copy rows of every subarray the range touches; reset their hammer
+        exposure."""
+        geo = self.geometry
+        touched_subarrays = {
+            r // geo.rows_per_subarray for r in rows if r < geo.rows_per_bank
+        }
+        for bank in range(geo.banks_per_channel):
+            for row_number in rows:
+                if row_number >= geo.rows_per_bank:
+                    continue
+                row = RowId.regular(row_number, geo.rows_per_subarray)
+                self._refresh_row(bank, row, now)
+                self._hammer_counts.pop((bank, row_number), None)
+            for subarray in touched_subarrays:
+                for copy_index in range(geo.copy_rows_per_subarray):
+                    self._refresh_row(bank, RowId.copy(subarray, copy_index), now)
+
+    def _refresh_row(self, bank: int, row: RowId, now: int) -> None:
+        key = (bank, row)
+        if key in self._live:
+            # Refresh of a partially-restored row re-drives it to full
+            # charge through its own wordline; pairing is no longer needed.
+            self._charge[key] = self.tech.full_restore_fraction
+            self._restore_time[key] = now
+            self._requires_pair.discard(key)
+
+    # ------------------------------------------------------------------
+    # RowHammer disturbance
+    # ------------------------------------------------------------------
+    def _record_hammer(self, bank: int, rows: tuple[RowId, ...], now: int) -> None:
+        if self.hammer_threshold is None:
+            return
+        geo = self.geometry
+        for row in rows:
+            if row.kind is not RowKind.REGULAR:
+                continue
+            row_number = row.bank_row(geo.rows_per_subarray)
+            key = (bank, row_number)
+            count = self._hammer_counts.get(key, 0) + 1
+            self._hammer_counts[key] = count
+            if count == self.hammer_threshold:
+                self._disturb_neighbors(bank, row_number, now)
+
+    def _disturb_neighbors(self, bank: int, aggressor_row: int, now: int) -> None:
+        """Flip one bit in each live physically-adjacent regular row."""
+        geo = self.geometry
+        for victim_number in (aggressor_row - 1, aggressor_row + 1):
+            if not 0 <= victim_number < geo.rows_per_bank:
+                continue
+            victim = RowId.regular(victim_number, geo.rows_per_subarray)
+            if (bank, victim) not in self._live:
+                continue
+            data = self.row_data(bank, victim)
+            word = (aggressor_row * 2654435761) % len(data)
+            bit = (aggressor_row * 40503) % 64
+            data[word] = data[word] ^ np.uint64(1 << bit)
+            self.disturbance_flips += 1
+
+    def hammer_count(self, bank: int, row_number: int) -> int:
+        """Activations of ``row_number`` since its last refresh."""
+        return self._hammer_counts.get((bank, row_number), 0)

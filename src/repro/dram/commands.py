@@ -1,0 +1,166 @@
+"""DRAM command set, including CROW's new multiple-row-activation commands.
+
+The conventional LPDDR4 commands are ``ACT``, ``RD``, ``WR``, ``PRE`` and
+``REF``. CROW adds two (paper Section 4.1):
+
+* ``ACT_C`` (*activate-and-copy*) — activates a regular row, then enables a
+  copy row's wordline after sensing so that restoration writes the data
+  into both rows (an in-DRAM RowClone-style copy).
+* ``ACT_T`` (*activate-two*) — simultaneously activates a regular row and a
+  copy row holding the same data, reducing activation latency.
+
+Row identity is expressed with :class:`RowId`, which distinguishes the
+regular-row address space (driven by the conventional local decoder) from
+the copy-row space (driven by the small CROW decoder in each subarray).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import ConfigError
+
+__all__ = ["CommandKind", "RowKind", "RowId", "ActTimings", "Command"]
+
+
+class CommandKind(enum.IntEnum):
+    """All commands the memory controller can issue to the device."""
+
+    ACT = 0
+    ACT_C = 1
+    ACT_T = 2
+    RD = 3
+    WR = 4
+    PRE = 5
+    REF = 6
+
+    @property
+    def is_activation(self) -> bool:
+        """Whether this command opens row(s)."""
+        return self in (CommandKind.ACT, CommandKind.ACT_C, CommandKind.ACT_T)
+
+
+class RowKind(enum.IntEnum):
+    """Whether a row belongs to the regular or the copy decoder's space."""
+
+    REGULAR = 0
+    COPY = 1
+
+
+class RowId(NamedTuple):
+    """Identity of one physical row within a bank.
+
+    ``subarray`` is the subarray index within the bank; ``index`` is the
+    row index within that subarray's regular (0..rows_per_subarray-1) or
+    copy (0..copy_rows-1) space depending on ``kind``.
+    """
+
+    kind: RowKind
+    subarray: int
+    index: int
+
+    @classmethod
+    def regular(cls, row: int, rows_per_subarray: int) -> "RowId":
+        """Build a regular-row id from a bank-level row number."""
+        if row < 0:
+            raise ConfigError(f"row must be non-negative, got {row}")
+        return cls(RowKind.REGULAR, row // rows_per_subarray, row % rows_per_subarray)
+
+    @classmethod
+    def copy(cls, subarray: int, copy_index: int) -> "RowId":
+        """Build a copy-row id from subarray and copy-slot indices."""
+        if subarray < 0 or copy_index < 0:
+            raise ConfigError("subarray and copy_index must be non-negative")
+        return cls(RowKind.COPY, subarray, copy_index)
+
+    def bank_row(self, rows_per_subarray: int) -> int:
+        """Bank-level row number (regular rows only)."""
+        if self.kind is not RowKind.REGULAR:
+            raise ConfigError("copy rows have no bank-level row number")
+        return self.subarray * rows_per_subarray + self.index
+
+
+@dataclass(frozen=True)
+class ActTimings:
+    """Effective timing of one activation, chosen by the mechanism.
+
+    ``tras_full`` is the time after which the activated cells are fully
+    restored; ``tras_early`` is the earliest legal precharge time when the
+    mechanism permits early restoration termination (equal to
+    ``tras_full`` for conventional activations). ``twr`` is the write
+    recovery time in effect while this activation is open.
+    """
+
+    trcd: int
+    tras_full: int
+    tras_early: int
+    twr: int
+    #: Write-recovery time that would *fully* restore the written cells;
+    #: when the enforced ``twr`` is the early-terminated variant, the bank
+    #: uses this value to decide whether a precharge leaves the row pair
+    #: fully or partially restored. ``None`` means ``twr`` already fully
+    #: restores.
+    twr_full: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.trcd < 1 or self.tras_full < 1 or self.twr < 1:
+            raise ConfigError("activation timings must be >= 1 cycle")
+        if self.tras_early > self.tras_full:
+            raise ConfigError("tras_early cannot exceed tras_full")
+        if self.twr_full is not None and self.twr_full < self.twr:
+            raise ConfigError("twr_full cannot be shorter than twr")
+
+    @property
+    def effective_twr_full(self) -> int:
+        """Write recovery needed for full restoration of written cells."""
+        return self.twr if self.twr_full is None else self.twr_full
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command on a channel's command bus.
+
+    ``rows`` carries the activation target(s): one row for ``ACT``, the
+    (source, destination) pair for ``ACT_C``, and the simultaneously
+    activated pair for ``ACT_T``. ``col`` is the cache-line column for
+    ``RD``/``WR``. ``timings`` overrides activation timing for CROW
+    commands; conventional ``ACT`` uses the baseline parameter set.
+    """
+
+    kind: CommandKind
+    bank: int = 0
+    rows: tuple[RowId, ...] = ()
+    col: int = 0
+    timings: ActTimings | None = None
+    #: SALP only: which subarray a ``PRE`` targets (conventional banks
+    #: have a single open row, so their ``PRE`` needs no subarray).
+    subarray: int | None = None
+
+    def __post_init__(self) -> None:
+        expected_rows = {
+            CommandKind.ACT: 1,
+            CommandKind.ACT_C: 2,
+            CommandKind.ACT_T: 2,
+            CommandKind.RD: 0,
+            CommandKind.WR: 0,
+            CommandKind.PRE: 0,
+            CommandKind.REF: 0,
+        }[self.kind]
+        if len(self.rows) != expected_rows:
+            raise ConfigError(
+                f"{self.kind.name} requires {expected_rows} row(s), "
+                f"got {len(self.rows)}"
+            )
+        if self.kind in (CommandKind.ACT_C, CommandKind.ACT_T):
+            source, dest = self.rows
+            if dest.kind is not RowKind.COPY:
+                raise ConfigError(
+                    f"{self.kind.name} second row must be a copy row"
+                )
+            if source.subarray != dest.subarray:
+                raise ConfigError(
+                    f"{self.kind.name} rows must share a subarray "
+                    f"(got {source.subarray} and {dest.subarray})"
+                )

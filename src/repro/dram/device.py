@@ -1,0 +1,298 @@
+"""Channel-level DRAM device: command legality, rank constraints, counters.
+
+:class:`DramChannel` owns the banks of one channel (one rank in the paper's
+configuration) and enforces every constraint that spans more than one bank:
+
+* command-bus occupancy (one command per cycle; CROW's ``ACT-c``/``ACT-t``
+  take one extra address-transfer cycle, paper Section 4.1.5),
+* rank-scope activation spacing (tRRD, tFAW),
+* data-bus occupancy and read/write turnaround (tCCD, tWTR),
+* all-bank refresh (tREFI scheduling lives in the controller; the device
+  enforces the tRFC blackout and walks the refresh row counter).
+
+The device also keeps the command counters and row-buffer-open residency
+statistics that the energy model consumes, and optionally drives a
+:class:`repro.dram.cellarray.CellArray` so that tests can verify functional
+data integrity under the exact command stream the controller produced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.bank import BankState, PrechargeResult, SalpBankState
+from repro.dram.cellarray import CellArray
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import REF_COMMANDS_PER_WINDOW, TimingParameters
+from repro.errors import ConfigError, ProtocolError, TimingViolationError
+
+__all__ = ["DramChannel", "IssueResult"]
+
+_FAR_PAST = -(10**9)
+
+
+class IssueResult:
+    """What the controller learns from issuing one command."""
+
+    __slots__ = ("data_at", "precharge", "done_at")
+
+    def __init__(
+        self,
+        data_at: int | None = None,
+        precharge: PrechargeResult | None = None,
+        done_at: int | None = None,
+    ):
+        self.data_at = data_at
+        self.precharge = precharge
+        self.done_at = done_at
+
+
+class DramChannel:
+    """One DRAM channel: banks plus rank/channel-scope timing state."""
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        timing: TimingParameters,
+        salp_subarrays: int | None = None,
+        cell_array: CellArray | None = None,
+    ) -> None:
+        if salp_subarrays is not None and salp_subarrays < 1:
+            raise ConfigError("salp_subarrays must be >= 1")
+        self.geometry = geometry
+        self.timing = timing
+        self.salp = salp_subarrays is not None
+        if self.salp:
+            self.banks: list[BankState] | list[SalpBankState] = [
+                SalpBankState(timing, salp_subarrays)
+                for _ in range(geometry.banks_per_channel)
+            ]
+        else:
+            self.banks = [
+                BankState(timing) for _ in range(geometry.banks_per_channel)
+            ]
+        self.cell_array = cell_array
+        self._base_act_timings = ActTimings(
+            trcd=timing.trcd,
+            tras_full=timing.tras,
+            tras_early=timing.tras,
+            twr=timing.twr,
+        )
+        # Channel/rank-scope state.
+        self.cmd_bus_free = 0
+        self.act_history: deque[int] = deque(maxlen=4)
+        self.last_act_time = _FAR_PAST
+        self.last_rd_issue = _FAR_PAST
+        self.last_wr_issue = _FAR_PAST
+        self.ref_busy_until = 0
+        self.refresh_cursor = 0
+        # Statistics (consumed by the energy model and the metrics layer).
+        self.counts = {kind: 0 for kind in CommandKind}
+        self.busy_reads = 0
+        #: Optional command-stream recorder (repro.validation).
+        self.recorder = None
+
+    # ------------------------------------------------------------------
+    # Bank access helpers
+    # ------------------------------------------------------------------
+    def _bank_slot(self, command: Command) -> BankState:
+        """The BankState a command operates on (per-subarray for SALP)."""
+        bank = self.banks[command.bank]
+        if isinstance(bank, SalpBankState):
+            if command.kind is CommandKind.PRE:
+                if command.subarray is None:
+                    raise ProtocolError("SALP PRE requires a subarray")
+                return bank.slot(command.subarray)
+            if command.kind in (CommandKind.RD, CommandKind.WR):
+                if command.subarray is None:
+                    raise ProtocolError("SALP column access requires a subarray")
+                return bank.slot(command.subarray)
+            return bank.slot(command.rows[0].subarray)
+        return bank
+
+    def open_rows(self, bank: int) -> tuple[RowId, ...] | None:
+        """Open row(s) of a conventional bank (None when closed)."""
+        slot = self.banks[bank]
+        if isinstance(slot, SalpBankState):
+            raise ProtocolError("use salp_open_rows for SALP banks")
+        return slot.open_rows
+
+    # ------------------------------------------------------------------
+    # Earliest-issue computation
+    # ------------------------------------------------------------------
+    def earliest_issue(self, command: Command, honor_full_tras: bool = False) -> int:
+        """Earliest cycle at which ``command`` satisfies every constraint.
+
+        Raises :class:`ProtocolError` if the command is illegal in the
+        current bank state regardless of time (e.g. ACT to an open bank).
+        """
+        timing = self.timing
+        earliest = max(self.cmd_bus_free, self.ref_busy_until)
+        kind = command.kind
+        if kind.is_activation:
+            slot = self._bank_slot(command)
+            earliest = max(earliest, slot.earliest_act())
+            if self.last_act_time != _FAR_PAST:
+                earliest = max(earliest, self.last_act_time + timing.trrd)
+            if len(self.act_history) == 4:
+                earliest = max(earliest, self.act_history[0] + timing.tfaw)
+        elif kind is CommandKind.RD:
+            slot = self._bank_slot(command)
+            earliest = max(earliest, slot.earliest_col())
+            if self.last_rd_issue != _FAR_PAST:
+                earliest = max(earliest, self.last_rd_issue + timing.tccd)
+            if self.last_wr_issue != _FAR_PAST:
+                earliest = max(
+                    earliest,
+                    self.last_wr_issue + timing.tcwl + timing.tbl + timing.twtr,
+                )
+        elif kind is CommandKind.WR:
+            slot = self._bank_slot(command)
+            earliest = max(earliest, slot.earliest_col())
+            if self.last_wr_issue != _FAR_PAST:
+                earliest = max(earliest, self.last_wr_issue + timing.tccd)
+            if self.last_rd_issue != _FAR_PAST:
+                turnaround = timing.tcl + timing.tbl + 2 - timing.tcwl
+                earliest = max(earliest, self.last_rd_issue + turnaround)
+        elif kind is CommandKind.PRE:
+            slot = self._bank_slot(command)
+            earliest = max(earliest, slot.earliest_pre(honor_full_tras))
+        elif kind is CommandKind.REF:
+            for bank in self.banks:
+                if bank.is_open:
+                    raise ProtocolError("REF requires all banks precharged")
+            if self.salp:
+                for bank in self.banks:
+                    for slot in bank.subarrays.values():  # type: ignore[union-attr]
+                        earliest = max(earliest, slot.ready_act)
+            else:
+                for bank in self.banks:
+                    earliest = max(earliest, bank.ready_act)  # type: ignore[union-attr]
+        else:  # pragma: no cover - enum is exhaustive
+            raise ProtocolError(f"unknown command kind {kind}")
+        return earliest
+
+    # ------------------------------------------------------------------
+    # Command issue
+    # ------------------------------------------------------------------
+    def issue(
+        self, command: Command, now: int, honor_full_tras: bool = False
+    ) -> IssueResult:
+        """Apply ``command`` at cycle ``now``, enforcing all constraints."""
+        earliest = self.earliest_issue(command, honor_full_tras)
+        if now < earliest:
+            raise TimingViolationError(
+                f"{command.kind.name} at {now}, allowed at {earliest}"
+            )
+        timing = self.timing
+        kind = command.kind
+        result = IssueResult()
+
+        if kind.is_activation:
+            slot = self._bank_slot(command)
+            timings = command.timings or self._base_act_timings
+            # The functional layer checks data integrity *before* the bank
+            # state mutates, so a raised DataIntegrityError leaves the
+            # device consistent (the activation never happened).
+            if self.cell_array is not None:
+                self.cell_array.on_activate(command, now)
+            bank = self.banks[command.bank]
+            if isinstance(bank, SalpBankState):
+                bank.note_activation(now)
+            slot.issue_act(now, command.rows, timings)
+            self.act_history.append(now)
+            self.last_act_time = now
+        elif kind is CommandKind.RD:
+            slot = self._bank_slot(command)
+            slot.issue_rd(now)
+            self.last_rd_issue = now
+            result.data_at = now + timing.tcl + timing.tbl
+            if self.cell_array is not None:
+                self.cell_array.on_read(command, now)
+        elif kind is CommandKind.WR:
+            slot = self._bank_slot(command)
+            slot.issue_wr(now)
+            self.last_wr_issue = now
+            result.done_at = now + timing.tcwl + timing.tbl
+            if self.cell_array is not None:
+                self.cell_array.on_write(command, now)
+        elif kind is CommandKind.PRE:
+            bank = self.banks[command.bank]
+            if isinstance(bank, SalpBankState):
+                assert command.subarray is not None
+                result.precharge = bank.issue_pre(now, command.subarray)
+            else:
+                result.precharge = bank.issue_pre(now)
+            if self.cell_array is not None:
+                self.cell_array.on_precharge(command, now, result.precharge)
+        elif kind is CommandKind.REF:
+            done = now + timing.trfc
+            self.ref_busy_until = done
+            for bank in self.banks:
+                bank.refresh_completed(done)
+            refreshed = self._advance_refresh_cursor()
+            if self.cell_array is not None:
+                self.cell_array.on_refresh(refreshed, now)
+            result.done_at = done
+        self.counts[kind] += 1
+        # CROW commands carry an extra copy-row address cycle (footnote 3).
+        bus_cycles = 2 if kind in (CommandKind.ACT_C, CommandKind.ACT_T) else 1
+        self.cmd_bus_free = now + bus_cycles
+        if self.recorder is not None:
+            self.recorder.record(now, command)
+        return result
+
+    def _advance_refresh_cursor(self) -> range:
+        """Row range (per bank) covered by this REF command."""
+        rows_per_ref = max(
+            1, self.geometry.rows_per_bank // REF_COMMANDS_PER_WINDOW
+        )
+        start = self.refresh_cursor
+        stop = start + rows_per_ref
+        self.refresh_cursor = stop % self.geometry.rows_per_bank
+        return range(start, stop)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def open_buffer_cycles(self, now: int) -> int:
+        """Total row-buffer-open residency up to ``now`` (energy input)."""
+        total = 0
+        for bank in self.banks:
+            if isinstance(bank, SalpBankState):
+                total += bank.open_cycles_total
+                for slot in bank.subarrays.values():
+                    if slot.is_open:
+                        total += now - slot.act_time
+            else:
+                total += bank.open_cycles_total
+                if bank.is_open:
+                    total += now - bank.act_time
+        return total
+
+    def bank_active_cycles(self, now: int) -> int:
+        """Cycles during which each bank had >= 1 open row, summed.
+
+        Equals :meth:`open_buffer_cycles` for conventional banks (one
+        buffer per bank); for SALP banks it excludes the *additional*
+        concurrently-open local buffers, which carry only latch power.
+        """
+        total = 0
+        for bank in self.banks:
+            if isinstance(bank, SalpBankState):
+                total += bank.bank_active_total(now)
+            else:
+                total += bank.open_cycles_total
+                if bank.is_open:
+                    total += now - bank.act_time
+        return total
+
+    @property
+    def activation_count(self) -> int:
+        """Activations of every kind (ACT + ACT-c + ACT-t)."""
+        return (
+            self.counts[CommandKind.ACT]
+            + self.counts[CommandKind.ACT_C]
+            + self.counts[CommandKind.ACT_T]
+        )

@@ -1,0 +1,104 @@
+"""DRAM organization geometry.
+
+Defaults follow Table 2 of the paper: LPDDR4, 4 channels, 1 rank per
+channel, 8 banks per rank, 64K rows per bank, 512 rows per subarray
+(128 subarrays per bank), 8 KiB row buffer. The CROW substrate adds
+``copy_rows_per_subarray`` extra rows per subarray, driven by their own
+small decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import KIB
+
+__all__ = ["DramGeometry"]
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical organization of the simulated memory system.
+
+    The column unit throughout the simulator is one cache line (64 B);
+    ``columns_per_row`` therefore counts cache-line slots in the 8 KiB row.
+    """
+
+    channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    rows_per_bank: int = 65536
+    rows_per_subarray: int = 512
+    copy_rows_per_subarray: int = 8
+    row_size_bytes: int = 8 * KIB
+    line_size_bytes: int = 64
+    density_gbit: int = 8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks_per_channel",
+            "banks_per_rank",
+            "rows_per_bank",
+            "rows_per_subarray",
+            "row_size_bytes",
+            "line_size_bytes",
+        ):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ConfigError(f"{name} must be a positive power of two")
+        if self.copy_rows_per_subarray < 0:
+            raise ConfigError("copy_rows_per_subarray must be non-negative")
+        if self.rows_per_bank % self.rows_per_subarray:
+            raise ConfigError("rows_per_bank must divide into whole subarrays")
+        if self.row_size_bytes % self.line_size_bytes:
+            raise ConfigError("row_size_bytes must divide into whole lines")
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        """Subarrays per bank (rows_per_bank / rows_per_subarray)."""
+        return self.rows_per_bank // self.rows_per_subarray
+
+    @property
+    def columns_per_row(self) -> int:
+        """Cache-line-sized column slots per row (128 for 8 KiB rows)."""
+        return self.row_size_bytes // self.line_size_bytes
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Banks visible to one channel controller."""
+        return self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total usable (regular-row) capacity of the memory system."""
+        return (
+            self.channels
+            * self.ranks_per_channel
+            * self.banks_per_rank
+            * self.rows_per_bank
+            * self.row_size_bytes
+        )
+
+    @property
+    def total_subarrays(self) -> int:
+        """Subarrays across the whole memory system (CROW-table scale)."""
+        return (
+            self.channels
+            * self.ranks_per_channel
+            * self.banks_per_rank
+            * self.subarrays_per_bank
+        )
+
+    def subarray_of_row(self, row: int) -> int:
+        """Subarray index containing regular row ``row`` within a bank."""
+        if not 0 <= row < self.rows_per_bank:
+            raise ConfigError(f"row {row} out of range")
+        return row // self.rows_per_subarray
+
+    def row_within_subarray(self, row: int) -> int:
+        """Index of regular row ``row`` inside its subarray (0..511)."""
+        if not 0 <= row < self.rows_per_bank:
+            raise ConfigError(f"row {row} out of range")
+        return row % self.rows_per_subarray

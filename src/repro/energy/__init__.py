@@ -1,0 +1,6 @@
+"""DRAMPower-style LPDDR4 energy estimation."""
+
+from repro.energy.idd import IddCurrents
+from repro.energy.model import ChannelActivity, EnergyBreakdown, EnergyModel
+
+__all__ = ["IddCurrents", "ChannelActivity", "EnergyBreakdown", "EnergyModel"]

@@ -1,0 +1,64 @@
+"""LPDDR4 IDD current set.
+
+Representative datasheet values for an LPDDR4 rank, collapsed onto a
+single effective supply rail. The refresh burst current (IDD5) grows with
+chip density because each REF command restores proportionally more rows —
+the effect that makes refresh consume up to ~50% of DRAM energy at high
+density (paper Section 1) and drives the Figure 13 trend.
+
+The paper's SALP energy argument rests on one measured datum this model
+pins exactly: an idle chip with a single open bank draws 10.9% more
+current (IDD3N) than with all banks closed (IDD2N) [73].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["IddCurrents"]
+
+#: IDD5 (refresh burst) current in mA, by density in Gbit.
+IDD5_MA_BY_DENSITY = {8: 162.0, 16: 202.0, 32: 262.0, 64: 342.0}
+
+
+@dataclass(frozen=True)
+class IddCurrents:
+    """Effective single-rail current set for one rank, in milliamps.
+
+    The standby currents fold in the peripheral/clocking/IO rails that
+    DRAMPower accounts separately (the paper's energy numbers come from
+    DRAMPower), so background power carries a realistic share of total
+    energy; the *increments* (IDD0-IDD3N for activation, IDD4-IDD3N for
+    bursts, IDD5-IDD2N for refresh) are datasheet-typical.
+    """
+
+    vdd_volts: float = 1.1
+    idd0: float = 96.5     # activate-precharge cycling
+    idd2n: float = 60.0    # precharge standby (all banks closed)
+    idd3n: float = 66.54   # active standby (one bank open) = 1.109 * IDD2N
+    idd4r: float = 185.0   # burst read
+    idd4w: float = 195.0   # burst write
+    idd5: float = 162.0    # refresh burst
+
+    def __post_init__(self) -> None:
+        for name in ("vdd_volts", "idd0", "idd2n", "idd3n", "idd4r", "idd4w", "idd5"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.idd3n <= self.idd2n:
+            raise ConfigError("active standby must exceed precharge standby")
+
+    @classmethod
+    def lpddr4(cls, density_gbit: int = 8) -> "IddCurrents":
+        """Current set for a given chip density."""
+        if density_gbit not in IDD5_MA_BY_DENSITY:
+            raise ConfigError(
+                f"density_gbit must be one of {sorted(IDD5_MA_BY_DENSITY)}"
+            )
+        return cls(idd5=IDD5_MA_BY_DENSITY[density_gbit])
+
+    @property
+    def open_buffer_overhead_ma(self) -> float:
+        """Extra standby current per open row buffer (IDD3N - IDD2N)."""
+        return self.idd3n - self.idd2n

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the CROW reproduction library.
+
+All exceptions raised by this package derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TimingViolationError",
+    "ProtocolError",
+    "DataIntegrityError",
+    "CapacityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command was issued before its timing constraints were met.
+
+    The device-side substrate raises this to catch controller bugs: a real
+    DRAM chip would silently corrupt data, so the simulator fails loudly.
+    """
+
+
+class ProtocolError(ReproError):
+    """A DRAM command was issued in an illegal bank/rank state.
+
+    Examples: activating an already-open bank, reading a closed bank, or
+    issuing ``ACT-t`` for a row pair that is not tracked as duplicated.
+    """
+
+
+class DataIntegrityError(ReproError):
+    """The functional cell array detected data corruption.
+
+    Raised when a read observes cells whose charge decayed below the
+    reliable-sensing threshold (retention expiry, unsafe partial-restore
+    access, or RowHammer disturbance in the functional model).
+    """
+
+
+class CapacityError(ReproError):
+    """A structural resource (copy rows, MSHRs, queue slots) was exhausted
+    in a context where the caller is required to check for space first."""

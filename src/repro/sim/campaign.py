@@ -1,0 +1,157 @@
+"""Disk-cached experiment campaigns.
+
+Figure-level studies re-run many (configuration, workload) pairs, and the
+baseline runs repeat across figures. :class:`Campaign` memoizes
+:func:`~repro.sim.sweep.run_workload` / :func:`~repro.sim.sweep.run_mix`
+results on disk, keyed by a stable digest of the configuration, the
+workload names, the seeds and the run lengths — so iterating on an
+experiment script only pays for the runs whose inputs actually changed.
+
+Every simulation in this package is deterministic given its inputs, which
+is what makes result caching sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+from pathlib import Path
+
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.sweep import run_mix, run_workload
+from repro.errors import ConfigError
+
+__all__ = ["Campaign"]
+
+#: Bump when a change invalidates previously-cached results.
+CACHE_VERSION = 1
+
+
+def _jsonable(value):
+    """A stable, identity-free JSON projection of a config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "__dict__"):
+        return {
+            name: _jsonable(attr)
+            for name, attr in sorted(vars(value).items())
+        }
+    return repr(value)
+
+
+def _config_digest(config: SystemConfig) -> str:
+    payload = {"version": CACHE_VERSION, "config": _jsonable(config)}
+    encoded = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:20]
+
+
+class Campaign:
+    """A directory-backed cache of simulation results."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _key(
+        self,
+        kind: str,
+        names: tuple[str, ...],
+        config: SystemConfig,
+        instructions: int,
+        warmup: int,
+        seed: int,
+    ) -> Path:
+        digest = hashlib.sha256(
+            json.dumps(
+                [kind, names, _config_digest(config), instructions, warmup,
+                 seed],
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()[:24]
+        return self.directory / f"{kind}-{'_'.join(names)[:48]}-{digest}.pkl"
+
+    def _load_or_run(self, path: Path, runner) -> SimResult:
+        if path.is_file():
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+            if isinstance(result, SimResult):
+                self.hits += 1
+                return result
+        result = runner()
+        if not isinstance(result, SimResult):
+            raise ConfigError("runner must produce a SimResult")
+        with path.open("wb") as handle:
+            pickle.dump(result, handle)
+        self.misses += 1
+        return result
+
+    def run_workload(
+        self,
+        name: str,
+        config: SystemConfig | None = None,
+        instructions: int = 60_000,
+        warmup_instructions: int = 30_000,
+        seed: int = 0,
+    ) -> SimResult:
+        """Cached single-core run (same semantics as sweep.run_workload)."""
+        config = config if config is not None else SystemConfig()
+        path = self._key(
+            "wl", (name,), config, instructions, warmup_instructions, seed
+        )
+        return self._load_or_run(
+            path,
+            lambda: run_workload(
+                name,
+                config,
+                instructions=instructions,
+                warmup_instructions=warmup_instructions,
+                seed=seed,
+            ),
+        )
+
+    def run_mix(
+        self,
+        names: list[str],
+        config: SystemConfig | None = None,
+        instructions: int = 40_000,
+        warmup_instructions: int = 20_000,
+        seed: int = 0,
+    ) -> SimResult:
+        """Cached multi-core mix run (same semantics as sweep.run_mix)."""
+        config = config if config is not None else SystemConfig()
+        path = self._key(
+            "mix", tuple(names), config, instructions, warmup_instructions,
+            seed,
+        )
+        return self._load_or_run(
+            path,
+            lambda: run_mix(
+                names,
+                config,
+                instructions=instructions,
+                warmup_instructions=warmup_instructions,
+                seed=seed,
+            ),
+        )
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for file in self.directory.glob("*.pkl"):
+            file.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,106 @@
+"""System configuration (paper Table 2 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.controller.controller import ControllerConfig
+from repro.cpu.cache import CacheConfig
+from repro.cpu.core import CoreConfig
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigError
+from repro.units import MIB
+
+__all__ = ["SystemConfig", "MECHANISMS"]
+
+#: Mechanism names accepted by :class:`SystemConfig`.
+MECHANISMS = (
+    "baseline",
+    "crow-cache",
+    "crow-ref",
+    "crow-combined",
+    "crow-hammer",
+    "crow-full",
+    "ideal-crow-cache",
+    "ideal",            # ideal CROW-cache + no refresh (Figure 14 bound)
+    "no-refresh",
+    "tl-dram",
+    "salp",
+    "chargecache",
+)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a :class:`repro.sim.system.System`."""
+
+    cores: int = 1
+    mechanism: str = "baseline"
+    # --- memory organization -----------------------------------------
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    density_gbit: int = 8
+    refresh_window_ms: float = 64.0
+    refresh_enabled: bool = True
+    # --- CROW substrate ------------------------------------------------
+    copy_rows: int = 8
+    use_derived_circuit_factors: bool = False
+    allow_partial_restore: bool = True
+    reduced_twr: bool = True
+    act_c_early_termination: bool = True
+    #: 'bypass' (skip caching when all ways are partial) or 'restore'
+    #: (the paper's Section 4.1.4 restore-before-evict protocol).
+    evict_partial: str = "bypass"
+    subarray_group_size: int = 1
+    # --- CROW-ref ------------------------------------------------------
+    target_refresh_window_ms: float = 128.0
+    weak_rows_per_subarray: int | None = 3
+    # --- RowHammer -----------------------------------------------------
+    hammer_threshold: int = 2000
+    # --- baselines -----------------------------------------------------
+    tldram_near_rows: int = 8
+    salp_subarrays_per_bank: int = 128
+    salp_open_page: bool = True
+    # --- processor side --------------------------------------------------
+    llc_size_bytes: int = 8 * MIB
+    prefetcher: bool = False
+    prefetch_degree: int = 2
+    core: CoreConfig = field(default_factory=CoreConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    # --- misc ------------------------------------------------------------
+    functional_cells: bool = False
+    #: Attach a repro.validation.CommandRecorder to every channel, so the
+    #: full command stream can be replayed/validated after the run.
+    record_commands: bool = False
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError("cores must be >= 1")
+        if self.mechanism not in MECHANISMS:
+            raise ConfigError(
+                f"unknown mechanism {self.mechanism!r}; one of {MECHANISMS}"
+            )
+        if self.copy_rows < 0:
+            raise ConfigError("copy_rows must be non-negative")
+
+    def resolved_geometry(self) -> DramGeometry:
+        """Geometry with the mechanism's structural knobs applied."""
+        geometry = self.geometry
+        changes: dict = {"density_gbit": self.density_gbit}
+        if self.mechanism == "salp":
+            rows_per_subarray = (
+                geometry.rows_per_bank // self.salp_subarrays_per_bank
+            )
+            changes["rows_per_subarray"] = rows_per_subarray
+            changes["copy_rows_per_subarray"] = 0
+        elif self.mechanism == "tl-dram":
+            changes["copy_rows_per_subarray"] = self.tldram_near_rows
+        elif self.mechanism in ("baseline", "no-refresh", "chargecache"):
+            changes["copy_rows_per_subarray"] = 0
+        else:
+            changes["copy_rows_per_subarray"] = self.copy_rows
+        return replace(geometry, **changes)
+
+    def llc_config(self) -> CacheConfig:
+        """The LLC configuration implied by this system config."""
+        return CacheConfig(size_bytes=self.llc_size_bytes)

@@ -1,0 +1,73 @@
+"""Experiment helpers: run one workload or one mix under a configuration.
+
+These wrap the System construction + run boilerplate the benchmark harness
+uses; every figure script is "build config grid -> run_workload / run_mix
+-> print the paper-style table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.system import System
+from repro.trace.workloads import Workload, workload as lookup_workload
+
+__all__ = ["run_workload", "run_mix", "alone_ipcs"]
+
+
+def _resolve(w: "Workload | str") -> Workload:
+    return lookup_workload(w) if isinstance(w, str) else w
+
+
+def run_workload(
+    w: "Workload | str",
+    config: SystemConfig | None = None,
+    instructions: int = 60_000,
+    warmup_instructions: int = 30_000,
+    seed: int = 0,
+) -> SimResult:
+    """Run one workload on a single-core system."""
+    config = config if config is not None else SystemConfig()
+    config = replace(config, cores=1)
+    system = System(config, [_resolve(w).trace(seed)])
+    return system.run(instructions, warmup_instructions)
+
+
+def run_mix(
+    mix: "list[Workload | str]",
+    config: SystemConfig | None = None,
+    instructions: int = 40_000,
+    warmup_instructions: int = 20_000,
+    seed: int = 0,
+) -> SimResult:
+    """Run a multiprogrammed mix (one workload per core)."""
+    config = config if config is not None else SystemConfig()
+    config = replace(config, cores=len(mix))
+    traces = [
+        _resolve(w).trace(seed * 16 + i) for i, w in enumerate(mix)
+    ]
+    system = System(config, traces)
+    return system.run(instructions, warmup_instructions)
+
+
+def alone_ipcs(
+    mix: "list[Workload | str]",
+    config: SystemConfig | None = None,
+    instructions: int = 40_000,
+    warmup_instructions: int = 20_000,
+    seed: int = 0,
+) -> list[float]:
+    """Per-workload IPC when run alone (weighted-speedup denominators)."""
+    results = []
+    for i, w in enumerate(mix):
+        result = run_workload(
+            w,
+            config=config,
+            instructions=instructions,
+            warmup_instructions=warmup_instructions,
+            seed=seed * 16 + i,
+        )
+        results.append(result.ipc)
+    return results

@@ -1,0 +1,599 @@
+"""Full-system wiring: cores + LLC + channel controllers + mechanism.
+
+:class:`System` builds the component graph described by a
+:class:`~repro.sim.config.SystemConfig`, runs the event-paced simulation
+loop (warm-up followed by a measured region, as in the paper's
+methodology), and assembles a :class:`~repro.sim.metrics.SimResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+from repro.baselines import ChargeCache, IdealCrowCache, SalpMasa, TlDram
+from repro.controller import ChannelController, FrFcfsCap, MemRequest, RequestType
+from repro.controller.mechanism import Mechanism, NoMechanism
+from repro.core import CrowCache, CrowCacheRef, CrowRef, RowHammerMitigation
+from repro.circuit import derive_crow_timing_factors
+from repro.cpu import Core, Llc, RptPrefetcher, VirtualMemory
+from repro.cpu.core import TraceRecord
+from repro.dram import (
+    AddressMapper,
+    CellArray,
+    CrowTimings,
+    DramChannel,
+    RetentionModel,
+    TimingParameters,
+)
+from repro.energy import ChannelActivity, EnergyModel, IddCurrents
+from repro.errors import ConfigError, ReproError
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+
+__all__ = ["System"]
+
+IDLE = 1 << 62
+
+
+class _EventQueue:
+    """Timestamped callback heap (completion events, etc.)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, time: int, fn: Callable[[], None]) -> None:
+        """Enqueue ``fn`` to run at ``time``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def next_time(self) -> int:
+        """Timestamp of the earliest pending event (IDLE if none)."""
+        return self._heap[0][0] if self._heap else IDLE
+
+    def run_until(self, now: int) -> None:
+        """Fire every event scheduled at or before ``now``."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, fn = heapq.heappop(heap)
+            fn()
+
+
+class MemoryPort:
+    """The cores' window into the memory hierarchy.
+
+    Translates, consults the shared LLC, merges outstanding fills, drives
+    the prefetcher, and hands misses/writebacks to the right channel
+    controller. See :meth:`repro.cpu.core.Core._issue_access` for the
+    completion-callback contract.
+    """
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        # line -> [issued_as_prefetch, waiter callbacks...]
+        self._outstanding: dict[int, list] = {}
+        self.demand_misses_per_core = [0] * system.config.cores
+        self.demand_accesses_per_core = [0] * system.config.cores
+        self.dropped_writebacks = 0
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        core_id: int,
+        vaddr: int,
+        is_write: bool,
+        pc: int,
+        now: int,
+        on_complete: Callable[[int], None],
+    ) -> str:
+        """Serve one core access; returns 'hit', 'miss' or 'stall'."""
+        system = self.system
+        line = system.vm.translate(core_id, vaddr) & ~(
+            system.llc.config.line_bytes - 1
+        )
+        if system.llc.contains(line):
+            hit, _, was_prefetched = system.llc.access(line, is_write)
+            assert hit
+            if was_prefetched and system.prefetchers:
+                system.prefetchers[core_id].useful += 1
+            finish = now + system.llc.config.hit_latency
+            system.events.schedule(finish, lambda: on_complete(finish))
+            self.demand_accesses_per_core[core_id] += 1
+            self._maybe_prefetch(core_id, pc, vaddr, now)
+            return "hit"
+
+        # Miss: secure queue space for the fill and any dirty writeback.
+        pending = self._outstanding.get(line)
+        if pending is not None:
+            # Merge with the in-flight fill for this line (MSHR merge).
+            system.llc.access(line, is_write)  # allocates/updates LRU
+            if pending[0] and system.prefetchers:
+                # The demand caught an in-flight prefetch: count it useful
+                # (latency was partially hidden) exactly once.
+                system.prefetchers[core_id].useful += 1
+                pending[0] = False
+            pending.append(on_complete)
+            self.demand_accesses_per_core[core_id] += 1
+            self.demand_misses_per_core[core_id] += 1
+            self._maybe_prefetch(core_id, pc, vaddr, now)
+            return "miss"
+        controller = system.controller_for(line)
+        if not controller.can_accept(RequestType.READ):
+            return "stall"
+        victim = system.llc.peek_victim(line)
+        if victim is not None:
+            wb_controller = system.controller_for(victim)
+            if not wb_controller.can_accept(RequestType.WRITE):
+                return "stall"
+        _, writeback, _ = system.llc.access(line, is_write)
+        if writeback is not None:
+            self._post_writeback(writeback, now)
+        entry: list = [False, on_complete]
+        self._outstanding[line] = entry
+
+        def fill_done(request: MemRequest, finish: int) -> None:
+            del self._outstanding[line]
+            for waiter in entry[1:]:
+                waiter(finish)
+
+        request = MemRequest(
+            RequestType.READ,
+            line,
+            system.mapper.decode(line),
+            core_id=core_id,
+            callback=fill_done,
+        )
+        accepted = controller.enqueue(request, now)
+        assert accepted
+        controller.next_wake = min(controller.next_wake, now)
+        self.demand_accesses_per_core[core_id] += 1
+        self.demand_misses_per_core[core_id] += 1
+        self._maybe_prefetch(core_id, pc, vaddr, now)
+        return "miss"
+
+    # ------------------------------------------------------------------
+    def _post_writeback(self, address: int, now: int) -> None:
+        """Post a dirty eviction to its channel's write queue.
+
+        Demand-path writebacks are guaranteed space by the peek_victim
+        stall check; fill-time (prefetch) writebacks may rarely find the
+        queue full and are counted — a bounded timing inaccuracy, since
+        the LLC model does not carry data.
+        """
+        system = self.system
+        controller = system.controller_for(address)
+        request = MemRequest(
+            RequestType.WRITE, address, system.mapper.decode(address)
+        )
+        if controller.enqueue(request, now):
+            controller.next_wake = min(controller.next_wake, now)
+        else:
+            self.dropped_writebacks += 1
+
+    def _maybe_prefetch(self, core_id: int, pc: int, vaddr: int, now: int) -> None:
+        system = self.system
+        if not system.prefetchers:
+            return
+        prefetcher = system.prefetchers[core_id]
+        for target_vaddr in prefetcher.observe(pc, vaddr):
+            line = system.vm.translate(core_id, target_vaddr) & ~(
+                system.llc.config.line_bytes - 1
+            )
+            if system.llc.contains(line) or line in self._outstanding:
+                continue
+            controller = system.controller_for(line)
+            if not controller.can_accept(RequestType.READ):
+                continue
+            entry: list = [True]
+            self._outstanding[line] = entry
+
+            def prefetch_done(
+                request: MemRequest, finish: int, line=line, entry=entry
+            ) -> None:
+                del self._outstanding[line]
+                writeback = system.llc.fill_prefetch(line)
+                if writeback is not None:
+                    self._post_writeback(writeback, finish)
+                for waiter in entry[1:]:
+                    waiter(finish)
+
+            request = MemRequest(
+                RequestType.READ,
+                line,
+                system.mapper.decode(line),
+                core_id=core_id,
+                callback=prefetch_done,
+                is_prefetch=True,
+            )
+            controller.enqueue(request, now)
+            controller.next_wake = min(controller.next_wake, now)
+
+    def reset_stats(self) -> None:
+        """Zero statistics at the warm-up boundary."""
+        self.demand_misses_per_core = [0] * self.system.config.cores
+        self.demand_accesses_per_core = [0] * self.system.config.cores
+
+
+class System:
+    """One simulated machine, ready to run a set of traces."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: list[Iterator[TraceRecord]],
+    ) -> None:
+        if len(traces) != config.cores:
+            raise ConfigError(
+                f"expected {config.cores} traces, got {len(traces)}"
+            )
+        self.config = config
+        self.geometry = config.resolved_geometry()
+        self.mapper = AddressMapper(self.geometry)
+        base_timing = TimingParameters.lpddr4(
+            density_gbit=config.density_gbit,
+            refresh_window_ms=config.refresh_window_ms,
+        )
+        factors = (
+            derive_crow_timing_factors()
+            if config.use_derived_circuit_factors
+            else None
+        )
+        self.crow_timings = (
+            CrowTimings.from_factors(base_timing, factors)
+            if self.geometry.copy_rows_per_subarray
+            else None
+        )
+        self.retention = self._build_retention()
+        self.mechanisms = [
+            self._build_mechanism(ch, base_timing)
+            for ch in range(self.geometry.channels)
+        ]
+        self.timing = self._final_timing(base_timing)
+        refresh_enabled = config.refresh_enabled and config.mechanism not in (
+            "no-refresh",
+            "ideal",
+        )
+        salp_subarrays = (
+            self.geometry.subarrays_per_bank if config.mechanism == "salp" else None
+        )
+        self.cell_arrays = []
+        self.channels = []
+        for ch in range(self.geometry.channels):
+            cell_array = None
+            if config.functional_cells:
+                cell_array = CellArray(
+                    self.geometry,
+                    clock_mhz=self.timing.clock_mhz,
+                    channel=ch,
+                    retention=self.retention,
+                )
+            self.cell_arrays.append(cell_array)
+            self.channels.append(
+                DramChannel(
+                    self.geometry,
+                    self.timing,
+                    salp_subarrays=salp_subarrays,
+                    cell_array=cell_array,
+                )
+            )
+        self.recorders = []
+        if config.record_commands:
+            from repro.validation import CommandRecorder
+
+            for channel in self.channels:
+                recorder = CommandRecorder()
+                channel.recorder = recorder
+                self.recorders.append(recorder)
+        self.events = _EventQueue()
+        controller_config = config.controller
+        if config.mechanism == "salp" and config.salp_open_page:
+            from dataclasses import replace
+
+            controller_config = replace(controller_config, row_timeout_ns=None)
+        self.controllers = [
+            ChannelController(
+                channel,
+                mechanism=mechanism,
+                scheduler=FrFcfsCap(controller_config.fr_fcfs_cap),
+                config=controller_config,
+                schedule_event=self.events.schedule,
+                refresh_enabled=refresh_enabled,
+            )
+            for channel, mechanism in zip(self.channels, self.mechanisms)
+        ]
+        for controller in self.controllers:
+            controller.next_wake = 0
+        self.llc = _PeekableLlc(config.llc_config())
+        self.vm = VirtualMemory(self.geometry.capacity_bytes, seed=config.seed)
+        self.prefetchers = (
+            [
+                RptPrefetcher(degree=config.prefetch_degree)
+                for _ in range(config.cores)
+            ]
+            if config.prefetcher
+            else []
+        )
+        self.port = MemoryPort(self)
+        self.cores = [
+            Core(i, trace, self.port, config.core)
+            for i, trace in enumerate(traces)
+        ]
+        self.energy_model = EnergyModel(
+            self.timing, IddCurrents.lpddr4(config.density_gbit)
+        )
+        self._measure_start: int | None = None
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_retention(self) -> RetentionModel | None:
+        if self.config.mechanism not in (
+            "crow-ref", "crow-combined", "crow-full"
+        ):
+            return None
+        return RetentionModel(
+            self.geometry,
+            target_interval_ms=self.config.target_refresh_window_ms,
+            weak_rows_per_subarray=self.config.weak_rows_per_subarray,
+            seed=self.config.seed,
+        )
+
+    def _build_mechanism(
+        self, channel: int, timing: TimingParameters
+    ) -> Mechanism:
+        config = self.config
+        name = config.mechanism
+        geometry = self.geometry
+        if name in ("baseline", "no-refresh"):
+            return NoMechanism(geometry, timing)
+        if name == "crow-cache":
+            from repro.core.table import CrowTable
+
+            table = CrowTable(geometry, config.subarray_group_size)
+            return CrowCache(
+                geometry,
+                timing,
+                crow=self.crow_timings,
+                table=table,
+                allow_partial_restore=config.allow_partial_restore,
+                reduced_twr=config.reduced_twr,
+                act_c_early_termination=config.act_c_early_termination,
+                evict_partial=config.evict_partial,
+            )
+        if name == "crow-ref":
+            assert self.retention is not None
+            return CrowRef(
+                geometry,
+                timing,
+                self.retention,
+                crow=self.crow_timings,
+                channel=channel,
+                base_window_ms=config.refresh_window_ms,
+            )
+        if name == "crow-combined":
+            assert self.retention is not None
+            return CrowCacheRef(
+                geometry,
+                timing,
+                self.retention,
+                crow=self.crow_timings,
+                channel=channel,
+                base_window_ms=config.refresh_window_ms,
+                allow_partial_restore=config.allow_partial_restore,
+                reduced_twr=config.reduced_twr,
+                act_c_early_termination=config.act_c_early_termination,
+                evict_partial=config.evict_partial,
+            )
+        if name == "crow-full":
+            from repro.core import CrowFullSubstrate
+
+            assert self.retention is not None
+            return CrowFullSubstrate(
+                geometry,
+                timing,
+                self.retention,
+                crow=self.crow_timings,
+                channel=channel,
+                base_window_ms=config.refresh_window_ms,
+                hammer_threshold=config.hammer_threshold,
+                allow_partial_restore=config.allow_partial_restore,
+                reduced_twr=config.reduced_twr,
+                act_c_early_termination=config.act_c_early_termination,
+                evict_partial=config.evict_partial,
+            )
+        if name == "crow-hammer":
+            return RowHammerMitigation(
+                geometry,
+                timing,
+                crow=self.crow_timings,
+                hammer_threshold=config.hammer_threshold,
+            )
+        if name in ("ideal-crow-cache", "ideal"):
+            return IdealCrowCache(
+                geometry,
+                timing,
+                crow=self.crow_timings,
+                allow_partial_restore=config.allow_partial_restore,
+            )
+        if name == "tl-dram":
+            return TlDram(geometry, timing)
+        if name == "salp":
+            return SalpMasa(geometry, timing, open_page=config.salp_open_page)
+        if name == "chargecache":
+            return ChargeCache(geometry, timing)
+        raise ConfigError(f"unknown mechanism {name!r}")
+
+    def _final_timing(self, base: TimingParameters) -> TimingParameters:
+        """Apply the refresh window the mechanisms achieved (CROW-ref)."""
+        windows = [
+            mech.achieved_refresh_window_ms
+            for mech in self.mechanisms
+            if hasattr(mech, "achieved_refresh_window_ms")
+        ]
+        if not windows:
+            return base
+        achieved = min(windows)
+        return base.with_refresh_window(achieved)
+
+    def controller_for(self, address: int) -> ChannelController:
+        """The channel controller owning ``address``."""
+        return self.controllers[self.mapper.decode(address).channel]
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        candidates = [self.events.next_time()]
+        candidates.extend(core.next_wake for core in self.cores)
+        candidates.extend(ctrl.next_wake for ctrl in self.controllers)
+        t = min(candidates)
+        if t >= IDLE:
+            raise ReproError(
+                "simulation deadlock: no component has pending work"
+            )
+        self.now = max(self.now, t)
+        self.events.run_until(self.now)
+        for core in self.cores:
+            if core.next_wake <= self.now:
+                core.next_wake = core.tick(self.now)
+        for controller in self.controllers:
+            if controller.next_wake <= self.now:
+                controller.next_wake = controller.tick(self.now)
+
+    def prewarm(self, accesses_per_core: int) -> None:
+        """Functionally warm the LLC (and page table) without timing.
+
+        Pulls the first ``accesses_per_core`` records of every core's
+        trace through translation and the LLC, round-robin. This stands in
+        for the paper's 100M-instruction cache warm-up, which a Python
+        cycle simulator cannot afford to execute in timed mode. The
+        records consumed here simply become part of the (untimed) past.
+        """
+        line_mask = ~(self.llc.config.line_bytes - 1)
+        for _ in range(accesses_per_core):
+            for core in self.cores:
+                record = next(core.trace, None)
+                if record is None:
+                    continue
+                line = self.vm.translate(core.core_id, record.vaddr) & line_mask
+                self.llc.access(line, record.is_write)
+        self.llc.reset_stats()
+
+    def run(
+        self,
+        instructions: int = 100_000,
+        warmup_instructions: int = 20_000,
+        max_cycles: int | None = None,
+        prewarm_accesses: int = 200_000,
+    ) -> SimResult:
+        """Warm up, measure, and return the result.
+
+        Mirrors the paper's methodology (Section 7): caches are warmed
+        (functionally via ``prewarm_accesses``, then in timed mode for
+        ``warmup_instructions`` per core); then statistics reset and each
+        core runs for ``instructions`` more; the simulation stops when
+        every core has retired its measured quota.
+        """
+        if instructions < 1 or warmup_instructions < 0:
+            raise ConfigError("invalid instruction counts")
+        if prewarm_accesses:
+            self.prewarm(prewarm_accesses)
+        # Phase 1: warm-up.
+        while any(core.retired < warmup_instructions for core in self.cores):
+            self._step()
+            if max_cycles is not None and self.now > max_cycles:
+                raise ReproError("warm-up exceeded max_cycles")
+        self._begin_measurement(instructions)
+        # Phase 2: measurement.
+        while not all(core.done for core in self.cores):
+            self._step()
+            if max_cycles is not None and self.now > max_cycles:
+                raise ReproError("measurement exceeded max_cycles")
+        return self._collect(instructions)
+
+    def _begin_measurement(self, instructions: int) -> None:
+        self._measure_start = self.now
+        for core in self.cores:
+            core.begin_measurement(self.now, instructions)
+        for controller in self.controllers:
+            for key in controller.stats:
+                controller.stats[key] = 0
+        for channel in self.channels:
+            for kind in list(channel.counts):
+                channel.counts[kind] = 0
+            for bank in channel.banks:
+                bank.open_cycles_total = 0
+                if hasattr(bank, "subarrays"):
+                    for slot in bank.subarrays.values():
+                        slot.open_cycles_total = 0
+        self.llc.reset_stats()
+        self.port.reset_stats()
+        for mechanism in self.mechanisms:
+            mechanism.reset_stats()
+        for prefetcher in self.prefetchers:
+            prefetcher.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _collect(self, instructions: int) -> SimResult:
+        assert self._measure_start is not None
+        start = self._measure_start
+        end = max(core.finish_cycle or self.now for core in self.cores)
+        cycles = end - start
+        energy = None
+        for channel in self.channels:
+            activity = ChannelActivity.from_channel(channel, cycles, self.now)
+            breakdown = self.energy_model.breakdown(activity)
+            energy = breakdown if energy is None else energy + breakdown
+        mechanism_stats: dict[str, float] = {}
+        for mechanism in self.mechanisms:
+            for key, value in mechanism.stats().items():
+                mechanism_stats[key] = mechanism_stats.get(key, 0.0) + value
+        hit_rates = [
+            mech.hit_rate() for mech in self.mechanisms if hasattr(mech, "hit_rate")
+        ]
+        controller_stats: dict[str, int] = {}
+        for controller in self.controllers:
+            for key, value in controller.stats.items():
+                controller_stats[key] = controller_stats.get(key, 0) + value
+        mpki = []
+        for core in self.cores:
+            instr = max(1, core.measured_instructions)
+            mpki.append(
+                1000.0 * self.port.demand_misses_per_core[core.core_id] / instr
+            )
+        return SimResult(
+            mechanism=self.config.mechanism,
+            cores=self.config.cores,
+            cycles=cycles,
+            clock_ratio=self.config.core.clock_ratio,
+            core_ipcs=[core.ipc(self.now) for core in self.cores],
+            core_mpki=mpki,
+            llc_miss_rate=self.llc.miss_rate(),
+            energy=energy,
+            crow_hit_rate=(sum(hit_rates) / len(hit_rates)) if hit_rates else None,
+            mechanism_stats=mechanism_stats,
+            controller_stats=controller_stats,
+            refresh_window_ms=self.timing.refresh_window_ms,
+        )
+
+
+class _PeekableLlc(Llc):
+    """LLC extended with a no-mutation victim probe (stall decisions)."""
+
+    def peek_victim(self, address: int) -> int | None:
+        """Dirty-victim address a fill would evict (no mutation)."""
+        entries, _tag = self._locate(address)
+        if len(entries) < self.config.ways:
+            return None
+        victim_tag, victim_dirty, _ = entries[-1]
+        if not victim_dirty:
+            return None
+        set_index = (
+            address >> self._offset_bits
+        ) & self._index_mask
+        victim_line = (victim_tag << self._index_mask.bit_length()) | set_index
+        return victim_line << self._offset_bits

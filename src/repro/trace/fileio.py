@@ -1,0 +1,131 @@
+"""Trace file input/output in the Ramulator CPU-trace format.
+
+The paper's simulator (Ramulator [55]) consumes text traces with one
+memory access per line::
+
+    <num-cpu-instructions> <read-address> [<writeback-address>]
+
+where ``num-cpu-instructions`` is the bubble count preceding the access.
+This module reads and writes that format, so users can
+
+* run *real* Ramulator traces (e.g. collected with a Pintool) through this
+  simulator, and
+* export this package's synthetic workloads for a cross-check against the
+  original C++ infrastructure.
+
+The in-memory record type (:class:`~repro.cpu.core.TraceRecord`) carries a
+write flag and a PC that the Ramulator format lacks; on export, writeback
+addresses are emitted for write records, and on import, a line's optional
+writeback address is materialized as a separate write record (the closest
+faithful mapping).
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.cpu.core import TraceRecord
+from repro.errors import ConfigError
+
+__all__ = ["write_ramulator_trace", "read_ramulator_trace", "take"]
+
+
+def take(trace: Iterator[TraceRecord], count: int) -> list[TraceRecord]:
+    """Materialize the first ``count`` records of a trace."""
+    if count < 0:
+        raise ConfigError("count must be non-negative")
+    return list(itertools.islice(trace, count))
+
+
+def write_ramulator_trace(
+    path: "str | Path",
+    trace: Iterable[TraceRecord],
+    max_records: int | None = None,
+) -> int:
+    """Write records to ``path`` in Ramulator CPU-trace format.
+
+    Write records become the optional third (writeback) column attached to
+    the preceding read line, or standalone ``0 <addr> <addr>`` lines when
+    no read precedes them. Returns the number of lines written.
+    """
+    path = Path(path)
+    lines = 0
+    pending: TraceRecord | None = None
+    with path.open("w") as handle:
+        iterator: Iterator[TraceRecord] = iter(trace)
+        if max_records is not None:
+            iterator = itertools.islice(iterator, max_records)
+        for record in iterator:
+            if record.is_write:
+                if pending is not None:
+                    handle.write(
+                        f"{pending.bubbles} 0x{pending.vaddr:x} "
+                        f"0x{record.vaddr:x}\n"
+                    )
+                    pending = None
+                else:
+                    handle.write(
+                        f"{record.bubbles} 0x{record.vaddr:x} "
+                        f"0x{record.vaddr:x}\n"
+                    )
+                lines += 1
+                continue
+            if pending is not None:
+                handle.write(f"{pending.bubbles} 0x{pending.vaddr:x}\n")
+                lines += 1
+            pending = record
+        if pending is not None:
+            handle.write(f"{pending.bubbles} 0x{pending.vaddr:x}\n")
+            lines += 1
+    return lines
+
+
+def read_ramulator_trace(
+    path: "str | Path", loop: bool = False
+) -> Iterator[TraceRecord]:
+    """Yield records from a Ramulator CPU-trace file.
+
+    Each line produces a read record; a third column additionally produces
+    a write record for the writeback address. With ``loop`` the trace
+    repeats forever (the simulator's runner expects effectively-infinite
+    traces for fixed-instruction-count runs).
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ConfigError(f"trace file not found: {path}")
+
+    def parse_lines() -> Iterator[TraceRecord]:
+        with path.open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                parts = text.split()
+                if len(parts) not in (2, 3):
+                    raise ConfigError(
+                        f"{path}:{line_number}: expected 2 or 3 columns, "
+                        f"got {len(parts)}"
+                    )
+                try:
+                    bubbles = int(parts[0])
+                    address = int(parts[1], 0)
+                    writeback = int(parts[2], 0) if len(parts) == 3 else None
+                except ValueError as error:
+                    raise ConfigError(
+                        f"{path}:{line_number}: {error}"
+                    ) from None
+                if bubbles < 0 or address < 0:
+                    raise ConfigError(
+                        f"{path}:{line_number}: negative field"
+                    )
+                yield TraceRecord(bubbles, address, False, pc=line_number)
+                if writeback is not None:
+                    yield TraceRecord(0, writeback, True, pc=line_number)
+
+    if not loop:
+        yield from parse_lines()
+        return
+    while True:
+        yield from parse_lines()

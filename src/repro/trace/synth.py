@@ -1,0 +1,233 @@
+"""Parametric access-pattern generators.
+
+Each generator yields an infinite stream of
+:class:`~repro.cpu.core.TraceRecord` tuples. All randomness flows through a
+``numpy.random.Generator`` seeded by the caller, so every trace is
+reproducible.
+
+Pattern vocabulary (matched to the paper's workload discussion):
+
+* ``streaming_trace`` — sequential lines; very high row-buffer locality,
+  prefetcher-friendly (paper's *streaming* microbenchmark / STREAM suite).
+* ``random_trace`` — uniform random lines over a footprint; minimal
+  row-buffer locality (paper's *random* microbenchmark, mcf/milc-like).
+* ``strided_trace`` — fixed non-unit stride; regular but row-unfriendly.
+* ``hotset_trace`` — most accesses revisit a small hot set of rows; high
+  in-DRAM locality, the behaviour CROW-cache exploits (h264-like).
+* ``mixed_trace`` — phase-interleaved combination of the above.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.cpu.core import TraceRecord
+from repro.errors import ConfigError
+
+__all__ = [
+    "streaming_trace",
+    "random_trace",
+    "strided_trace",
+    "hotset_trace",
+    "multistream_trace",
+    "mixed_trace",
+]
+
+LINE = 64
+_CHUNK = 1024
+
+
+def _bubbles(rng: np.random.Generator, mean: float, count: int) -> np.ndarray:
+    """Per-access non-memory instruction counts (>= 0, mean ``mean``)."""
+    if mean <= 0:
+        return np.zeros(count, dtype=np.int64)
+    return rng.poisson(mean, size=count).astype(np.int64)
+
+
+def _check(footprint_bytes: int, bubbles_mean: float, write_fraction: float):
+    if footprint_bytes < LINE:
+        raise ConfigError("footprint must hold at least one line")
+    if bubbles_mean < 0:
+        raise ConfigError("bubbles_mean must be non-negative")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigError("write_fraction must be a probability")
+
+
+def streaming_trace(
+    footprint_bytes: int,
+    bubbles_mean: float = 24.0,
+    write_fraction: float = 0.0,
+    base_vaddr: int = 0x1000_0000,
+    seed: int = 1,
+) -> Iterator[TraceRecord]:
+    """Sequential line-by-line sweep over the footprint, repeated forever."""
+    _check(footprint_bytes, bubbles_mean, write_fraction)
+    rng = np.random.default_rng(seed)
+    lines = footprint_bytes // LINE
+    position = 0
+    pc = 0x400000
+    while True:
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
+        for i in range(_CHUNK):
+            vaddr = base_vaddr + (position % lines) * LINE
+            position += 1
+            yield TraceRecord(int(bubbles[i]), vaddr, bool(writes[i]), pc)
+
+
+def random_trace(
+    footprint_bytes: int,
+    bubbles_mean: float = 24.0,
+    write_fraction: float = 0.25,
+    base_vaddr: int = 0x2000_0000,
+    seed: int = 2,
+) -> Iterator[TraceRecord]:
+    """Uniform random line accesses over the footprint."""
+    _check(footprint_bytes, bubbles_mean, write_fraction)
+    rng = np.random.default_rng(seed)
+    lines = footprint_bytes // LINE
+    while True:
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        targets = rng.integers(0, lines, size=_CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
+        pcs = rng.integers(0, 64, size=_CHUNK)
+        for i in range(_CHUNK):
+            vaddr = base_vaddr + int(targets[i]) * LINE
+            yield TraceRecord(
+                int(bubbles[i]), vaddr, bool(writes[i]), 0x500000 + int(pcs[i]) * 4
+            )
+
+
+def strided_trace(
+    footprint_bytes: int,
+    stride_bytes: int = 256,
+    bubbles_mean: float = 24.0,
+    write_fraction: float = 0.1,
+    base_vaddr: int = 0x3000_0000,
+    seed: int = 3,
+) -> Iterator[TraceRecord]:
+    """Constant-stride sweep (regular, detectable by the RPT prefetcher)."""
+    _check(footprint_bytes, bubbles_mean, write_fraction)
+    if stride_bytes < LINE or stride_bytes % LINE:
+        raise ConfigError("stride must be a multiple of the line size")
+    rng = np.random.default_rng(seed)
+    position = 0
+    pc = 0x600000
+    while True:
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
+        for i in range(_CHUNK):
+            vaddr = base_vaddr + (position * stride_bytes) % footprint_bytes
+            position += 1
+            yield TraceRecord(int(bubbles[i]), vaddr, bool(writes[i]), pc)
+
+
+def hotset_trace(
+    footprint_bytes: int,
+    hot_bytes: int = 256 * 1024,
+    hot_fraction: float = 0.9,
+    bubbles_mean: float = 24.0,
+    write_fraction: float = 0.2,
+    base_vaddr: int = 0x4000_0000,
+    seed: int = 4,
+) -> Iterator[TraceRecord]:
+    """Accesses concentrate on a hot set; the remainder roam the footprint.
+
+    The hot set is visited with spatial runs (several consecutive lines per
+    touch), producing the high row reuse CROW-cache caches.
+    """
+    _check(footprint_bytes, bubbles_mean, write_fraction)
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigError("hot_fraction must be a probability")
+    if hot_bytes < LINE or hot_bytes > footprint_bytes:
+        raise ConfigError("hot_bytes must be within the footprint")
+    rng = np.random.default_rng(seed)
+    hot_lines = hot_bytes // LINE
+    all_lines = footprint_bytes // LINE
+    while True:
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        hot = rng.random(_CHUNK) < hot_fraction
+        targets = rng.integers(0, 1 << 62, size=_CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
+        run = rng.integers(2, 8, size=_CHUNK)
+        i = 0
+        while i < _CHUNK:
+            if hot[i]:
+                start = int(targets[i]) % hot_lines
+                for offset in range(int(run[i])):
+                    line = (start + offset) % hot_lines
+                    yield TraceRecord(
+                        int(bubbles[i]),
+                        base_vaddr + line * LINE,
+                        bool(writes[i]),
+                        0x700000,
+                    )
+            else:
+                line = int(targets[i]) % all_lines
+                yield TraceRecord(
+                    int(bubbles[i]),
+                    base_vaddr + line * LINE,
+                    bool(writes[i]),
+                    0x700100,
+                )
+            i += 1
+
+
+def multistream_trace(
+    footprint_bytes: int,
+    streams: int = 8,
+    bubbles_mean: float = 24.0,
+    write_fraction: float = 0.2,
+    restart_period: int = 0,
+    base_vaddr: int = 0x5000_0000,
+    seed: int = 5,
+) -> Iterator[TraceRecord]:
+    """Several sequential streams interleaved at random.
+
+    This is the access structure that gives real applications their high
+    *in-DRAM* locality (the property CROW-cache exploits): each stream
+    sweeps lines sequentially, but because many streams are in flight the
+    bank-level access pattern keeps closing and re-opening each stream's
+    current row — every re-open is a potential CROW-table hit. Video
+    codecs (reference frames), graph frontiers and database scans all look
+    like this. ``restart_period`` > 0 rewinds a random stream to its start
+    every that-many accesses, adding longer-range row reuse.
+    """
+    _check(footprint_bytes, bubbles_mean, write_fraction)
+    if streams < 1:
+        raise ConfigError("streams must be >= 1")
+    rng = np.random.default_rng(seed)
+    region_lines = footprint_bytes // LINE // streams
+    if region_lines < 1:
+        raise ConfigError("footprint too small for the stream count")
+    positions = [0] * streams
+    count = 0
+    while True:
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        picks = rng.integers(0, streams, size=_CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
+        for i in range(_CHUNK):
+            stream = int(picks[i])
+            line = positions[stream] % region_lines
+            positions[stream] += 1
+            count += 1
+            if restart_period and count % restart_period == 0:
+                positions[int(rng.integers(0, streams))] = 0
+            vaddr = base_vaddr + (stream * region_lines + line) * LINE
+            yield TraceRecord(
+                int(bubbles[i]), vaddr, bool(writes[i]), 0x800000 + stream * 4
+            )
+
+
+def mixed_trace(
+    phases: list[tuple[Iterator[TraceRecord], int]],
+) -> Iterator[TraceRecord]:
+    """Interleave generators in round-robin phases of the given lengths."""
+    if not phases:
+        raise ConfigError("mixed_trace needs at least one phase")
+    while True:
+        for generator, length in phases:
+            for _ in range(length):
+                yield next(generator)

@@ -1,0 +1,49 @@
+"""Unit helpers: time conversions and size literals.
+
+The simulator's native clock is the DRAM bus clock. Timing parameters are
+specified in nanoseconds in datasheets and converted to integer bus cycles
+here, always rounding *up* (a constraint satisfied one cycle late is safe;
+one cycle early is a timing violation).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "ms_to_cycles",
+    "us_to_cycles",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def ns_to_cycles(time_ns: float, clock_mhz: float) -> int:
+    """Convert a duration in nanoseconds to bus cycles, rounding up.
+
+    >>> ns_to_cycles(18.0, 1600.0)   # LPDDR4-3200 tRCD
+    29
+    """
+    return math.ceil(time_ns * clock_mhz / 1000.0 - 1e-9)
+
+
+def cycles_to_ns(cycles: int, clock_mhz: float) -> float:
+    """Convert bus cycles to nanoseconds."""
+    return cycles * 1000.0 / clock_mhz
+
+
+def us_to_cycles(time_us: float, clock_mhz: float) -> int:
+    """Convert microseconds to bus cycles, rounding up."""
+    return ns_to_cycles(time_us * 1000.0, clock_mhz)
+
+
+def ms_to_cycles(time_ms: float, clock_mhz: float) -> int:
+    """Convert milliseconds to bus cycles, rounding up."""
+    return ns_to_cycles(time_ms * 1_000_000.0, clock_mhz)

@@ -1,0 +1,24 @@
+"""Command-stream validation: record, persist, and replay DRAM commands.
+
+A mechanism author's main hazard is emitting a command stream that a real
+DRAM device would corrupt silently — this package makes those bugs loud:
+
+* :class:`~repro.validation.recorder.CommandRecorder` attaches to a
+  :class:`~repro.dram.device.DramChannel` and logs every issued command,
+* :func:`~repro.validation.replay.replay` re-executes a recorded stream
+  against a *fresh* device with the functional cell array armed and every
+  regular row seeded live, so timing violations, protocol errors, unsafe
+  partial-restore activations, and ``ACT-t`` on non-duplicate rows are all
+  caught and reported with their position in the stream.
+"""
+
+from repro.validation.recorder import CommandRecorder, RecordedCommand
+from repro.validation.replay import ReplayReport, Violation, replay
+
+__all__ = [
+    "CommandRecorder",
+    "RecordedCommand",
+    "ReplayReport",
+    "Violation",
+    "replay",
+]

@@ -1,0 +1,123 @@
+"""Recording issued DRAM commands to memory or JSONL files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId, RowKind
+from repro.errors import ConfigError
+
+__all__ = ["RecordedCommand", "CommandRecorder"]
+
+
+class RecordedCommand(NamedTuple):
+    """One issued command with its issue cycle."""
+    cycle: int
+    command: Command
+
+
+def _row_to_json(row: RowId) -> list:
+    return [int(row.kind), row.subarray, row.index]
+
+
+def _row_from_json(data: list) -> RowId:
+    return RowId(RowKind(data[0]), data[1], data[2])
+
+
+def _timings_to_json(timings: ActTimings | None):
+    if timings is None:
+        return None
+    return [
+        timings.trcd,
+        timings.tras_full,
+        timings.tras_early,
+        timings.twr,
+        timings.twr_full,
+    ]
+
+
+def _timings_from_json(data) -> ActTimings | None:
+    if data is None:
+        return None
+    return ActTimings(
+        trcd=data[0], tras_full=data[1], tras_early=data[2],
+        twr=data[3], twr_full=data[4],
+    )
+
+
+class CommandRecorder:
+    """In-memory command log, attachable to a DramChannel.
+
+    >>> channel = DramChannel(geometry, timing)
+    >>> channel.recorder = CommandRecorder()
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        self.capacity = capacity
+        self.records: list[RecordedCommand] = []
+        self.dropped = 0
+
+    def record(self, cycle: int, command: Command) -> None:
+        """Append one issued command to the log."""
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(RecordedCommand(cycle, command))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Write the log as JSON lines."""
+        with Path(path).open("w") as handle:
+            for cycle, command in self.records:
+                handle.write(json.dumps({
+                    "cycle": cycle,
+                    "kind": command.kind.name,
+                    "bank": command.bank,
+                    "rows": [_row_to_json(r) for r in command.rows],
+                    "col": command.col,
+                    "subarray": command.subarray,
+                    "timings": _timings_to_json(command.timings),
+                }) + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CommandRecorder":
+        """Read a JSONL command log from ``path``."""
+        recorder = cls()
+        path = Path(path)
+        if not path.is_file():
+            raise ConfigError(f"command log not found: {path}")
+        with path.open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    data = json.loads(text)
+                    command = Command(
+                        kind=CommandKind[data["kind"]],
+                        bank=data["bank"],
+                        rows=tuple(_row_from_json(r) for r in data["rows"]),
+                        col=data["col"],
+                        subarray=data["subarray"],
+                        timings=_timings_from_json(data["timings"]),
+                    )
+                    recorder.records.append(
+                        RecordedCommand(data["cycle"], command)
+                    )
+                except (KeyError, ValueError, TypeError) as error:
+                    raise ConfigError(
+                        f"{path}:{line_number}: malformed record ({error})"
+                    ) from None
+        return recorder

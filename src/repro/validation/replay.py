@@ -1,0 +1,127 @@
+"""Replay a recorded command stream against a fresh, fully-armed device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dram.cellarray import CellArray
+from repro.dram.commands import RowKind
+from repro.dram.device import DramChannel
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParameters
+from repro.errors import (
+    DataIntegrityError,
+    ProtocolError,
+    ReproError,
+    TimingViolationError,
+)
+from repro.validation.recorder import CommandRecorder, RecordedCommand
+
+__all__ = ["Violation", "ReplayReport", "replay"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule the replayed stream broke."""
+
+    index: int
+    cycle: int
+    kind: str            # 'timing' | 'protocol' | 'integrity' | 'order'
+    message: str
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a command stream."""
+
+    commands: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the stream replayed without violations."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.ok:
+            return f"{self.commands} commands replayed, no violations"
+        head = self.violations[0]
+        return (
+            f"{self.commands} commands replayed, "
+            f"{len(self.violations)} violation(s); first at #{head.index} "
+            f"({head.kind}): {head.message}"
+        )
+
+
+def _classify(error: ReproError) -> str:
+    if isinstance(error, TimingViolationError):
+        return "timing"
+    if isinstance(error, DataIntegrityError):
+        return "integrity"
+    if isinstance(error, ProtocolError):
+        return "protocol"
+    return "other"
+
+
+def replay(
+    records: "CommandRecorder | Iterable[RecordedCommand]",
+    geometry: DramGeometry | None = None,
+    timing: TimingParameters | None = None,
+    with_cells: bool = True,
+    stop_at_first: bool = False,
+    max_violations: int = 100,
+) -> ReplayReport:
+    """Re-execute a recorded command stream on a fresh device.
+
+    The replay device enforces every timing constraint, every protocol
+    rule, and — with ``with_cells`` — every data-integrity rule, with each
+    regular row appearing in the stream pre-seeded *live* with a unique
+    pattern so that ``ACT-t`` on rows that were never made duplicates is
+    caught as corruption. Violating commands are skipped (their effects do
+    not apply) and reported, so one violation does not cascade.
+    """
+    geometry = geometry if geometry is not None else DramGeometry()
+    timing = timing if timing is not None else TimingParameters.lpddr4()
+    records = list(records)
+    cells = None
+    if with_cells:
+        cells = CellArray(
+            geometry, clock_mhz=timing.clock_mhz, enforce_retention=True
+        )
+        for _, command in records:
+            for row in command.rows:
+                if row.kind is RowKind.REGULAR and not cells.is_live(
+                    command.bank, row
+                ):
+                    pattern = (
+                        (command.bank << 32)
+                        | (row.subarray << 16)
+                        | row.index
+                    )
+                    cells.set_row_data(command.bank, row, pattern)
+    channel = DramChannel(geometry, timing, cell_array=cells)
+
+    report = ReplayReport()
+    last_cycle = None
+    for index, (cycle, command) in enumerate(records):
+        report.commands += 1
+        if last_cycle is not None and cycle < last_cycle:
+            report.violations.append(Violation(
+                index, cycle, "order",
+                f"cycle {cycle} precedes previous command at {last_cycle}",
+            ))
+            if stop_at_first or len(report.violations) >= max_violations:
+                break
+            continue
+        last_cycle = cycle
+        try:
+            channel.issue(command, cycle)
+        except ReproError as error:
+            report.violations.append(
+                Violation(index, cycle, _classify(error), str(error))
+            )
+            if stop_at_first or len(report.violations) >= max_violations:
+                break
+    return report

@@ -1,0 +1,196 @@
+"""Tests for the TL-DRAM, SALP, ChargeCache and ideal baselines."""
+
+import pytest
+
+from repro.baselines import ChargeCache, IdealCrowCache, SalpMasa, TlDram
+from repro.controller import ChannelController, ControllerConfig, MemRequest, RequestType
+from repro.dram import (
+    AddressMapper,
+    DramChannel,
+    DramGeometry,
+    TimingParameters,
+)
+from repro.dram.address import DramAddress
+from repro.dram.commands import CommandKind, RowKind
+from repro.units import ms_to_cycles
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+MAPPER = AddressMapper(GEO)
+
+
+def address(row: int, col: int = 0, bank: int = 0) -> int:
+    return MAPPER.encode(DramAddress(channel=0, rank=0, bank=bank, row=row, col=col))
+
+
+class TestTlDram:
+    def test_first_touch_copies_to_near_segment(self):
+        tld = TlDram(GEO, TIMING)
+        plan = tld.plan_activation(0, 100, now=0)
+        assert plan.kind is CommandKind.ACT_C
+
+    def test_hit_activates_near_row_alone_fast(self):
+        tld = TlDram(GEO, TIMING)
+        plan = tld.plan_activation(0, 100, now=0)
+        tld.on_activate(0, plan, 0)
+        hit = tld.plan_activation(0, 100, now=10)
+        assert hit.kind is CommandKind.ACT
+        assert hit.rows[0].kind is RowKind.COPY
+        # Near segment: -73% tRCD, -80% tRAS.
+        assert hit.timings.trcd == pytest.approx(TIMING.trcd * 0.27, abs=1)
+        assert hit.timings.tras_full == pytest.approx(TIMING.tras * 0.20, abs=1)
+
+    def test_far_access_pays_isolation_penalty(self):
+        tld = TlDram(GEO, TIMING)
+        # Exhaust the near segment of subarray 0 with other rows.
+        for i in range(GEO.copy_rows_per_subarray):
+            plan = tld.plan_activation(0, i, now=i)
+            tld.on_activate(0, plan, i)
+        # A row that loses the near segment race falls back to far timing
+        # only when no victim is available; with LRU there is always a
+        # victim, so verify the far timing object directly instead.
+        assert tld._far_timings.trcd > TIMING.trcd
+
+    def test_hit_rate_accounting(self):
+        tld = TlDram(GEO, TIMING)
+        for now, row in enumerate([5, 5, 6]):
+            plan = tld.plan_activation(0, row, now)
+            tld.on_activate(0, plan, now)
+        assert tld.hits == 1 and tld.misses == 2
+
+
+class TestSalp:
+    def _controller(self, open_page: bool):
+        channel = DramChannel(GEO, TIMING, salp_subarrays=GEO.subarrays_per_bank)
+        config = ControllerConfig(
+            row_timeout_ns=None if open_page else 75.0
+        )
+        controller = ChannelController(
+            channel,
+            mechanism=SalpMasa(GEO, TIMING, open_page=open_page),
+            config=config,
+            refresh_enabled=False,
+        )
+        return controller, channel
+
+    def test_two_subarrays_stay_open_concurrently(self):
+        controller, channel = self._controller(open_page=True)
+        # Rows 0 and 600 live in different subarrays of bank 0.
+        for row in (0, 600):
+            request = MemRequest(
+                RequestType.READ, address(row), MAPPER.decode(address(row))
+            )
+            controller.enqueue(request, 0)
+        now = 0
+        while controller.pending_requests:
+            now = max(controller.tick(now), now + 1)
+        bank = channel.banks[0]
+        assert bank.open_buffer_count == 2
+
+    def test_no_precharge_between_subarray_switches(self):
+        controller, channel = self._controller(open_page=True)
+        rows = [0, 600, 0, 600]   # alternating subarrays
+        now = 0
+        for row in rows:
+            request = MemRequest(
+                RequestType.READ, address(row), MAPPER.decode(address(row))
+            )
+            controller.enqueue(request, now)
+            while controller.pending_requests:
+                now = max(controller.tick(now), now + 1)
+        # Each subarray activated once; revisits hit the open local buffer.
+        assert channel.counts[CommandKind.ACT] == 2
+        assert channel.counts[CommandKind.PRE] == 0
+
+    def test_conventional_bank_would_conflict(self):
+        channel = DramChannel(GEO, TIMING)
+        controller = ChannelController(
+            channel, config=ControllerConfig(row_timeout_ns=None),
+            refresh_enabled=False,
+        )
+        now = 0
+        for row in (0, 600, 0, 600):
+            request = MemRequest(
+                RequestType.READ, address(row), MAPPER.decode(address(row))
+            )
+            controller.enqueue(request, now)
+            while controller.pending_requests:
+                now = max(controller.tick(now), now + 1)
+        assert channel.counts[CommandKind.ACT] == 4
+        assert channel.counts[CommandKind.PRE] == 3
+
+    def test_open_buffers_accumulate_energy_residency(self):
+        controller, channel = self._controller(open_page=True)
+        for row in (0, 600):
+            request = MemRequest(
+                RequestType.READ, address(row), MAPPER.decode(address(row))
+            )
+            controller.enqueue(request, 0)
+        now = 0
+        while controller.pending_requests:
+            now = max(controller.tick(now), now + 1)
+        later = now + 1000
+        assert channel.open_buffer_cycles(later) > 1500
+
+
+class TestChargeCache:
+    def test_recently_precharged_row_is_fast(self):
+        cc = ChargeCache(GEO, TIMING)
+        plan = cc.plan_activation(0, 100, now=0)
+        assert plan.timings is None
+        from repro.dram.bank import PrechargeResult
+        from repro.dram.commands import RowId
+
+        result = PrechargeResult(
+            rows=(RowId.regular(100, GEO.rows_per_subarray),),
+            fully_restored=True,
+            open_cycles=100,
+        )
+        cc.on_precharge(0, result, now=200)
+        fast = cc.plan_activation(0, 100, now=300)
+        assert fast.timings is not None
+        assert fast.timings.trcd < TIMING.trcd
+
+    def test_entry_expires_after_window(self):
+        cc = ChargeCache(GEO, TIMING, window_ms=1.0)
+        from repro.dram.bank import PrechargeResult
+        from repro.dram.commands import RowId
+
+        result = PrechargeResult(
+            rows=(RowId.regular(100, GEO.rows_per_subarray),),
+            fully_restored=True,
+            open_cycles=100,
+        )
+        cc.on_precharge(0, result, now=0)
+        late = ms_to_cycles(1.5, TIMING.clock_mhz)
+        plan = cc.plan_activation(0, 100, now=late)
+        assert plan.timings is None
+
+    def test_capacity_eviction(self):
+        cc = ChargeCache(GEO, TIMING, entries=2)
+        from repro.dram.bank import PrechargeResult
+        from repro.dram.commands import RowId
+
+        for row in (1, 2, 3):
+            result = PrechargeResult(
+                rows=(RowId.regular(row, GEO.rows_per_subarray),),
+                fully_restored=True,
+                open_cycles=10,
+            )
+            cc.on_precharge(0, result, now=row)
+        assert cc.plan_activation(0, 1, now=5).timings is None
+        assert cc.plan_activation(0, 3, now=5).timings is not None
+
+
+class TestIdealCrowCache:
+    def test_every_activation_is_act_t(self):
+        ideal = IdealCrowCache(GEO, TIMING)
+        plan = ideal.plan_activation(0, 100, now=0)
+        assert plan.kind is CommandKind.ACT_T
+        assert plan.timings.trcd < TIMING.trcd
+
+    def test_counts_activations(self):
+        ideal = IdealCrowCache(GEO, TIMING)
+        plan = ideal.plan_activation(0, 100, now=0)
+        ideal.on_activate(0, plan, 0)
+        assert ideal.activations == 1

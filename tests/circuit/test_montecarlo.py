@@ -1,0 +1,67 @@
+"""Tests for Monte-Carlo process-variation analysis."""
+
+import pytest
+
+from repro.circuit import MonteCarloAnalyzer, MonteCarloResult
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def analyzer() -> MonteCarloAnalyzer:
+    # 500 iterations keeps the unit-test suite fast; the benchmark harness
+    # runs the paper's full 10^4.
+    return MonteCarloAnalyzer(iterations=500, seed=7)
+
+
+class TestAnalyze:
+    def test_reports_all_quantities(self, analyzer):
+        results = analyzer.analyze(n_rows=2)
+        assert set(results) == {"trcd", "tras", "twr"}
+        for result in results.values():
+            assert isinstance(result, MonteCarloResult)
+
+    def test_worst_exceeds_mean(self, analyzer):
+        for result in analyzer.analyze(n_rows=2).values():
+            assert result.worst_ns >= result.mean_ns >= result.best_ns
+
+    def test_variation_is_bounded_by_margin(self, analyzer):
+        """5% parameter margins cannot produce >25% latency spread."""
+        for result in analyzer.analyze(n_rows=2).values():
+            assert result.spread < 1.25
+
+    def test_deterministic_given_seed(self):
+        first = MonteCarloAnalyzer(iterations=100, seed=42).analyze(2)
+        second = MonteCarloAnalyzer(iterations=100, seed=42).analyze(2)
+        assert first["trcd"].worst_ns == second["trcd"].worst_ns
+
+    def test_different_seeds_differ(self):
+        first = MonteCarloAnalyzer(iterations=100, seed=1).analyze(2)
+        second = MonteCarloAnalyzer(iterations=100, seed=2).analyze(2)
+        assert first["trcd"].worst_ns != second["trcd"].worst_ns
+
+
+class TestWorstCaseFactors:
+    def test_worst_case_keeps_large_trcd_benefit(self, analyzer):
+        """Even the worst process corner keeps most of the -38% benefit."""
+        factors = analyzer.worst_case_factors()
+        assert factors.act_t_full_trcd < 0.72
+
+    def test_worst_case_factors_validate(self, analyzer):
+        analyzer.worst_case_factors().validate()
+
+    def test_worst_case_is_more_conservative_than_nominal(self, analyzer):
+        from repro.circuit import derive_crow_timing_factors
+
+        nominal = derive_crow_timing_factors()
+        worst = analyzer.worst_case_factors()
+        assert worst.act_t_full_trcd >= nominal.act_t_full_trcd - 0.01
+
+
+class TestConstruction:
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ConfigError):
+            MonteCarloAnalyzer(margin=0.6)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigError):
+            MonteCarloAnalyzer(iterations=0)

@@ -1,0 +1,192 @@
+"""Tests for the MRA timing derivation against the paper's Table 1 / Figs 5-6."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    CrowTimingFactors,
+    MraModel,
+    TradeoffPoint,
+    derive_crow_timing_factors,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def model() -> MraModel:
+    return MraModel()
+
+
+@pytest.fixture(scope="module")
+def derived() -> CrowTimingFactors:
+    return derive_crow_timing_factors()
+
+
+class TestFigure5a:
+    """tRCD reduction with the number of simultaneously-activated rows."""
+
+    def test_two_row_trcd_reduction_matches_paper(self, model):
+        """Paper: simultaneously activating two rows reduces tRCD by 38%."""
+        assert model.trcd_factor(2) == pytest.approx(0.62, abs=0.03)
+
+    def test_reduction_has_diminishing_returns(self, model):
+        """Each additional row helps less than the previous one."""
+        factors = [model.trcd_factor(n) for n in range(1, 10)]
+        gains = [factors[i] - factors[i + 1] for i in range(len(factors) - 1)]
+        for earlier, later in zip(gains, gains[1:]):
+            assert later < earlier
+
+    @given(n=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=16)
+    def test_trcd_factor_bounded(self, n):
+        factor = MraModel().trcd_factor(n)
+        assert 0.0 < factor <= 1.0
+
+
+class TestFigure5b:
+    """tRAS / restoration / tWR change with the number of rows."""
+
+    def test_restoration_always_increases_with_rows(self, model):
+        for n in range(1, 9):
+            assert model.restoration_factor(n + 1) > model.restoration_factor(n)
+
+    def test_twr_always_increases_with_rows(self, model):
+        for n in range(1, 9):
+            assert model.twr_factor(n + 1) > model.twr_factor(n)
+
+    def test_tras_dips_for_few_rows(self, model):
+        """tRCD reduction outweighs restoration growth for small N."""
+        assert model.tras_factor(2) < 1.0
+        assert model.tras_factor(3) < 1.0
+
+    def test_tras_rises_for_many_rows(self, model):
+        """Paper: for five or more rows restoration overhead wins
+        (the exact crossover depends on calibration; by nine rows the
+        model must show a net tRAS increase, as Figure 5b does)."""
+        assert model.tras_factor(9) > 1.0
+
+    def test_two_row_twr_overhead_matches_paper(self, model):
+        """Paper Table 1: full-restore MRA writes cost +14% tWR."""
+        assert model.twr_factor(2) == pytest.approx(1.14, abs=0.03)
+
+
+class TestFigure6Frontier:
+    def test_frontier_trades_tras_for_trcd(self, model):
+        """Lower restore targets shorten tRAS but lengthen next tRCD."""
+        points = model.tradeoff_frontier(2, n_points=8)
+        for earlier, later in zip(points, points[1:]):
+            assert later.tras_factor > earlier.tras_factor
+            assert later.next_trcd_factor < earlier.next_trcd_factor
+
+    def test_all_frontier_points_meet_retention(self, model):
+        for point in model.tradeoff_frontier(2, n_points=8):
+            assert point.retention_ms >= model.tech.retention_base_ms * 0.999
+
+    def test_more_rows_push_frontier_down(self, model):
+        """With more duplicate rows, the same tRAS buys a lower tRCD."""
+        two = model.tradeoff_frontier(2, n_points=8)
+        four = model.tradeoff_frontier(4, n_points=8)
+        assert min(p.next_trcd_factor for p in four) < min(
+            p.next_trcd_factor for p in two
+        )
+
+    def test_paper_operating_point_is_on_frontier(self, model):
+        """The paper picks (-21% tRCD, -33% tRAS) for two rows; the model's
+        frontier must contain a point at least that good in both axes."""
+        points = model.tradeoff_frontier(2, n_points=64)
+        assert any(
+            p.tras_factor <= 0.67 and p.next_trcd_factor <= 0.80 for p in points
+        )
+
+    def test_rejects_too_few_points(self, model):
+        with pytest.raises(ConfigError):
+            model.tradeoff_frontier(2, n_points=1)
+
+    def test_point_type(self, model):
+        point = model.tradeoff_frontier(2, n_points=2)[0]
+        assert isinstance(point, TradeoffPoint)
+
+
+class TestMinRestoreFraction:
+    def test_two_rows_allow_partial_restore(self, model):
+        f_min = model.min_restore_fraction(2)
+        assert f_min < model.tech.full_restore_fraction
+
+    def test_longer_retention_needs_more_charge(self, model):
+        base = model.tech.retention_base_ms
+        assert model.min_restore_fraction(2, base * 1.2) > model.min_restore_fraction(
+            2, base
+        )
+
+    def test_impossible_retention_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.min_restore_fraction(1, model.tech.retention_base_ms * 100)
+
+
+class TestDerivedTimingFactors:
+    """The analytically-derived factor set lands near the published Table 1."""
+
+    def test_act_t_trcd(self, derived):
+        assert derived.act_t_full_trcd == pytest.approx(0.62, abs=0.03)
+
+    def test_act_t_tras_full(self, derived):
+        assert derived.act_t_tras_full == pytest.approx(0.93, abs=0.05)
+
+    def test_act_t_tras_early(self, derived):
+        assert derived.act_t_tras_early == pytest.approx(0.67, abs=0.05)
+
+    def test_act_t_partial_trcd_between_full_and_baseline(self, derived):
+        assert derived.act_t_full_trcd < derived.act_t_partial_trcd < 1.0
+
+    def test_act_c_trcd_unchanged(self, derived):
+        assert derived.act_c_trcd == pytest.approx(1.0, abs=0.01)
+
+    def test_act_c_tras_full(self, derived):
+        assert derived.act_c_tras_full == pytest.approx(1.18, abs=0.05)
+
+    def test_act_c_tras_early_below_baseline(self, derived):
+        assert derived.act_c_tras_early < 1.0
+
+    def test_twr(self, derived):
+        assert derived.twr_full == pytest.approx(1.14, abs=0.03)
+        assert derived.twr_early == pytest.approx(0.87, abs=0.05)
+
+    def test_validate_accepts_derived(self, derived):
+        derived.validate()
+
+
+class TestFactorValidation:
+    def test_paper_factors_validate(self):
+        CrowTimingFactors.paper().validate()
+
+    def test_rejects_partial_faster_than_full(self):
+        with pytest.raises(ConfigError):
+            CrowTimingFactors(
+                act_t_full_trcd=0.62, act_t_partial_trcd=0.5
+            ).validate()
+
+    def test_rejects_early_slower_than_full(self):
+        with pytest.raises(ConfigError):
+            CrowTimingFactors(
+                act_t_tras_full=0.9, act_t_tras_early=0.95
+            ).validate()
+
+    def test_rejects_free_act_c_restore(self):
+        with pytest.raises(ConfigError):
+            CrowTimingFactors(act_c_tras_full=0.99).validate()
+
+
+class TestActivateAndCopy:
+    def test_copy_does_not_change_trcd(self, model):
+        base = model.baseline()
+        copy = model.activate_and_copy()
+        assert copy.trcd_ns == pytest.approx(base.trcd_ns, rel=1e-9)
+
+    def test_copy_lengthens_tras(self, model):
+        assert model.activate_and_copy().tras_ns > model.baseline().tras_ns
+
+    def test_early_terminated_copy_is_cheaper_than_baseline(self, model):
+        """Table 1: ACT-c with early restoration termination is tRAS -7%."""
+        partial = model.min_restore_fraction(2, model.tech.retention_base_ms * 1.25)
+        early = model.activate_and_copy(restore_fraction=partial)
+        assert early.tras_ns < model.baseline().tras_ns

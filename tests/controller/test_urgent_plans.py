@@ -1,0 +1,109 @@
+"""Tests for mechanism-initiated (urgent) activations in the controller."""
+
+from repro.controller import ChannelController, MemRequest, RequestType
+from repro.controller.mechanism import ActivationPlan, Mechanism
+from repro.dram import AddressMapper, DramChannel, DramGeometry, TimingParameters
+from repro.dram.address import DramAddress
+from repro.dram.commands import ActTimings, CommandKind, RowId
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+MAPPER = AddressMapper(GEO)
+
+
+class OneShotUrgent(Mechanism):
+    """Test double: requests exactly one urgent ACT-c on bank 0."""
+
+    def __init__(self, geometry, timing):
+        super().__init__(geometry, timing)
+        self.pending = True
+        self.issued_plans = []
+
+    def urgent_plan(self, now):
+        if not self.pending:
+            return None
+        regular = RowId.regular(42, self.geometry.rows_per_subarray)
+        timings = ActTimings(
+            trcd=TIMING.trcd, tras_full=TIMING.tras + 12,
+            tras_early=TIMING.tras + 12, twr=TIMING.twr,
+        )
+        return 0, ActivationPlan(
+            kind=CommandKind.ACT_C,
+            rows=(regular, RowId.copy(regular.subarray, 0)),
+            timings=timings,
+        )
+
+    def on_activate(self, bank, plan, now):
+        self.issued_plans.append(plan)
+        if plan.kind is CommandKind.ACT_C:
+            self.pending = False
+
+
+def run_ticks(controller, limit=3000):
+    now = 0
+    for _ in range(limit):
+        now = max(controller.tick(now), now + 1)
+        if now > 10**8:
+            break
+    return now
+
+
+class TestUrgentService:
+    def test_urgent_issued_on_idle_bank(self):
+        channel = DramChannel(GEO, TIMING)
+        mechanism = OneShotUrgent(GEO, TIMING)
+        controller = ChannelController(channel, mechanism=mechanism,
+                                       refresh_enabled=False)
+        controller.tick(0)
+        assert not mechanism.pending
+        assert channel.counts[CommandKind.ACT_C] == 1
+
+    def test_urgent_precharges_open_bank_first(self):
+        channel = DramChannel(GEO, TIMING)
+        mechanism = OneShotUrgent(GEO, TIMING)
+        mechanism.pending = False           # hold off while we open a row
+        controller = ChannelController(channel, mechanism=mechanism,
+                                       refresh_enabled=False)
+        address = MAPPER.encode(
+            DramAddress(channel=0, rank=0, bank=0, row=7, col=0)
+        )
+        controller.enqueue(
+            MemRequest(RequestType.READ, address, MAPPER.decode(address)), 0
+        )
+        now = 0
+        while controller.pending_requests:
+            now = max(controller.tick(now), now + 1)
+        assert channel.banks[0].is_open
+        mechanism.pending = True
+        for _ in range(500):
+            now = max(controller.tick(now), now + 1)
+            if not mechanism.pending:
+                break
+        assert not mechanism.pending
+        assert channel.counts[CommandKind.PRE] >= 1
+        assert channel.counts[CommandKind.ACT_C] == 1
+
+    def test_urgent_precedes_demand_requests(self):
+        channel = DramChannel(GEO, TIMING)
+        mechanism = OneShotUrgent(GEO, TIMING)
+        controller = ChannelController(channel, mechanism=mechanism,
+                                       refresh_enabled=False)
+        address = MAPPER.encode(
+            DramAddress(channel=0, rank=0, bank=1, row=9, col=0)
+        )
+        controller.enqueue(
+            MemRequest(RequestType.READ, address, MAPPER.decode(address)), 0
+        )
+        controller.tick(0)   # the single command slot goes to the urgent
+        assert channel.counts[CommandKind.ACT_C] == 1
+        assert channel.counts[CommandKind.ACT] == 0
+
+    def test_urgent_respects_timing(self):
+        """The urgent path waits when the bank cannot accept an ACT."""
+        channel = DramChannel(GEO, TIMING)
+        mechanism = OneShotUrgent(GEO, TIMING)
+        controller = ChannelController(channel, mechanism=mechanism,
+                                       refresh_enabled=False)
+        run_ticks(controller, limit=5)
+        # Exactly one urgent activation — never a duplicate.
+        assert channel.counts[CommandKind.ACT_C] == 1

@@ -1,0 +1,145 @@
+"""Tests for the full substrate: cache + ref + RowHammer simultaneously.
+
+Exercises the paper's flexibility claim (Section 1): one copy-row pool and
+one CROW-table host all three mechanisms at once, distinguished by the
+entry owner tag.
+"""
+
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.controller import ChannelController, MemRequest, RequestType
+from repro.core import CrowFullSubstrate, EntryOwner
+from repro.dram import (
+    AddressMapper,
+    DramChannel,
+    DramGeometry,
+    RetentionModel,
+    TimingParameters,
+)
+from repro.dram.address import DramAddress
+from repro.dram.commands import CommandKind, RowKind
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+MAPPER = AddressMapper(GEO)
+
+
+def build(weak=1, hammer_threshold=10):
+    retention = RetentionModel(
+        GEO, target_interval_ms=128.0, weak_rows_per_subarray=weak, seed=5
+    )
+    mechanism = CrowFullSubstrate(
+        GEO, TIMING, retention, hammer_threshold=hammer_threshold
+    )
+    channel = DramChannel(GEO, TIMING)
+    controller = ChannelController(channel, mechanism=mechanism,
+                                   refresh_enabled=False)
+    return mechanism, retention, channel, controller
+
+
+def request_row(controller, row, now=0, bank=0):
+    addr = MAPPER.encode(
+        DramAddress(channel=0, rank=0, bank=bank, row=row, col=0)
+    )
+    controller.enqueue(
+        MemRequest(RequestType.READ, addr, MAPPER.decode(addr)), now
+    )
+    while controller.pending_requests:
+        now = max(controller.tick(now), now + 1)
+    for _ in range(400):
+        if not controller.channel.banks[bank].is_open:
+            break
+        now = max(controller.tick(now), now + 1)
+    return now
+
+
+class TestThreeMechanismsCoexist:
+    def test_ref_remap_and_cache_hits_together(self):
+        mechanism, retention, channel, controller = build(weak=1)
+        weak_index = sorted(retention.weak_regular_rows(0, 0, 0))[0]
+        strong = next(i for i in range(512)
+                      if i not in retention.weak_regular_rows(0, 0, 0))
+        now = request_row(controller, weak_index)
+        now = request_row(controller, strong, now)
+        now = request_row(controller, strong, now)
+        # Weak row served from its pinned ref copy, strong row cache-hit.
+        assert mechanism.service_row(0, weak_index).kind is RowKind.COPY
+        assert channel.counts[CommandKind.ACT_T] >= 1
+        assert mechanism.cache.hits >= 1
+        assert mechanism.achieved_refresh_window_ms == 128.0
+
+    def test_hammer_detection_on_top(self):
+        mechanism, retention, channel, controller = build(
+            weak=1, hammer_threshold=6
+        )
+        weak = retention.weak_regular_rows(0, 0, 0)
+        aggressor = next(
+            i for i in range(100, 512)
+            if i not in weak and (i - 1) not in weak and (i + 1) not in weak
+        )
+        now = 0
+        for _ in range(8):
+            now = request_row(controller, aggressor, now)
+        assert mechanism.hammer.protected_victims == 2
+        assert mechanism.service_row(0, aggressor + 1).kind is RowKind.COPY
+
+    def test_owner_tags_stay_disjoint(self):
+        mechanism, retention, channel, controller = build(
+            weak=1, hammer_threshold=6
+        )
+        weak = retention.weak_regular_rows(0, 0, 0)
+        aggressor = next(
+            i for i in range(100, 512)
+            if i not in weak and (i - 1) not in weak and (i + 1) not in weak
+        )
+        now = 0
+        for _ in range(8):
+            now = request_row(controller, aggressor, now)
+        ref_count = mechanism.table.allocated_count(EntryOwner.REF)
+        hammer_count = mechanism.table.allocated_count(EntryOwner.HAMMER)
+        cache_count = mechanism.table.allocated_count(EntryOwner.CACHE)
+        assert ref_count == mechanism.ref.remapped_rows
+        assert hammer_count == mechanism.hammer.protected_victims
+        assert cache_count >= 1      # the aggressor itself got cached
+        total = mechanism.table.allocated_count()
+        assert total == ref_count + hammer_count + cache_count
+
+    def test_victim_copies_never_evicted_by_cache(self):
+        mechanism, retention, channel, controller = build(
+            weak=0, hammer_threshold=6
+        )
+        now = 0
+        for _ in range(8):
+            now = request_row(controller, 100, now)
+        assert mechanism.hammer.protected_victims == 2
+        # Thrash the subarray with cache traffic.
+        for row in range(0, 40):
+            now = request_row(controller, row, now)
+        assert mechanism.service_row(0, 99).kind is RowKind.COPY
+        assert mechanism.service_row(0, 101).kind is RowKind.COPY
+        assert mechanism.table.allocated_count(EntryOwner.HAMMER) == 2
+
+
+class TestFullSubstrateSystem:
+    def test_runs_through_the_full_stack(self):
+        result = run_workload(
+            "h264-dec",
+            SystemConfig(mechanism="crow-full"),
+            instructions=8_000,
+            warmup_instructions=3_000,
+        )
+        assert result.ipc > 0
+        assert result.refresh_window_ms == 128.0
+        assert result.crow_hit_rate is not None
+
+    def test_close_to_combined_when_no_attack(self):
+        full = run_workload(
+            "h264-dec", SystemConfig(mechanism="crow-full"),
+            instructions=8_000, warmup_instructions=3_000,
+        )
+        combined = run_workload(
+            "h264-dec", SystemConfig(mechanism="crow-combined"),
+            instructions=8_000, warmup_instructions=3_000,
+        )
+        assert full.ipc == pytest.approx(combined.ipc, rel=0.02)

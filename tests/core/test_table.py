@@ -1,0 +1,134 @@
+"""Tests for the CROW-table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CrowTable, EntryOwner
+from repro.dram import DramGeometry
+from repro.errors import CapacityError, ConfigError
+
+GEO = DramGeometry()
+
+
+class TestLookup:
+    def test_empty_table_misses(self):
+        table = CrowTable(GEO)
+        assert table.lookup(0, 0, 5) is None
+
+    def test_allocate_then_hit(self):
+        table = CrowTable(GEO)
+        entry = table.allocate(0, 3, 17, EntryOwner.CACHE, now=10)
+        found = table.lookup(0, 3, 17)
+        assert found is entry
+        assert found.way == entry.way
+
+    def test_lookup_is_per_bank_and_subarray(self):
+        table = CrowTable(GEO)
+        table.allocate(0, 3, 17, EntryOwner.CACHE, now=10)
+        assert table.lookup(1, 3, 17) is None
+        assert table.lookup(0, 4, 17) is None
+
+    def test_ways_match_copy_rows(self):
+        table = CrowTable(GEO)
+        assert len(table.entries(0, 0)) == GEO.copy_rows_per_subarray
+
+
+class TestAllocation:
+    def test_set_fills_up(self):
+        table = CrowTable(GEO)
+        for i in range(GEO.copy_rows_per_subarray):
+            table.allocate(0, 0, i, EntryOwner.CACHE, now=i)
+        assert table.free_entry(0, 0) is None
+        with pytest.raises(CapacityError):
+            table.allocate(0, 0, 99, EntryOwner.CACHE, now=99)
+
+    def test_explicit_victim_reallocates(self):
+        table = CrowTable(GEO)
+        victim = table.allocate(0, 0, 1, EntryOwner.CACHE, now=0)
+        table.allocate(0, 0, 2, EntryOwner.CACHE, now=1, entry=victim)
+        assert table.lookup(0, 0, 1) is None
+        assert table.lookup(0, 0, 2) is victim
+
+    def test_lru_selection(self):
+        table = CrowTable(GEO)
+        first = table.allocate(0, 0, 1, EntryOwner.CACHE, now=5)
+        table.allocate(0, 0, 2, EntryOwner.CACHE, now=9)
+        assert table.lru_entry(0, 0, EntryOwner.CACHE) is first
+
+    def test_lru_ignores_other_owners(self):
+        table = CrowTable(GEO)
+        table.allocate(0, 0, 1, EntryOwner.REF, now=0)
+        cache_entry = table.allocate(0, 0, 2, EntryOwner.CACHE, now=9)
+        assert table.lru_entry(0, 0, EntryOwner.CACHE) is cache_entry
+
+    def test_unusable_way_never_free(self):
+        table = CrowTable(GEO)
+        table.mark_unusable(0, 0, 0)
+        free = table.free_entry(0, 0)
+        assert free is not None and free.way != 0
+
+    def test_allocated_count_by_owner(self):
+        table = CrowTable(GEO)
+        table.allocate(0, 0, 1, EntryOwner.REF, now=0)
+        table.allocate(0, 1, 2, EntryOwner.CACHE, now=0)
+        assert table.allocated_count() == 2
+        assert table.allocated_count(EntryOwner.REF) == 1
+
+
+class TestGroupSharing:
+    def test_shared_set_spans_subarrays(self):
+        table = CrowTable(GEO, subarray_group_size=4)
+        assert table.entries(0, 0) is table.entries(0, 3)
+        assert table.entries(0, 0) is not table.entries(0, 4)
+
+    def test_sharing_reduces_storage(self):
+        dedicated = CrowTable(GEO).storage_bits()
+        shared = CrowTable(GEO, subarray_group_size=4).storage_bits()
+        assert shared * 4 == dedicated
+
+    def test_shared_entry_tracks_owning_subarray(self):
+        table = CrowTable(GEO, subarray_group_size=4)
+        table.allocate(0, 2, 17, EntryOwner.CACHE, now=0)
+        assert table.lookup(0, 2, 17) is not None
+        assert table.lookup(0, 1, 17) is None  # same group, other subarray
+
+    def test_rejects_non_dividing_group(self):
+        with pytest.raises(ConfigError):
+            CrowTable(GEO, subarray_group_size=3)
+
+
+class TestStorage:
+    def test_paper_configuration_storage(self):
+        """Section 6.1: 512 rows, 8 copy rows, 1024 subarrays -> ~11 KiB."""
+        table = CrowTable(DramGeometry(channels=1))
+        kib = table.storage_bits() / 8 / 1024
+        assert kib == pytest.approx(11.0, abs=0.35)
+
+
+class TestEntryLifecycle:
+    @given(
+        rows=st.lists(st.integers(0, 511), min_size=1, max_size=40, unique=True)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lru_allocation_keeps_most_recent(self, rows):
+        """Property: after allocating with LRU replacement, the entries
+        present are exactly the most recently used distinct rows."""
+        table = CrowTable(GEO)
+        ways = GEO.copy_rows_per_subarray
+        for now, row in enumerate(rows):
+            existing = table.lookup(0, 0, row)
+            if existing is not None:
+                existing.last_use = now
+                continue
+            entry = table.free_entry(0, 0)
+            if entry is None:
+                entry = table.lru_entry(0, 0, EntryOwner.CACHE)
+            table.allocate(0, 0, row, EntryOwner.CACHE, now, entry)
+        expected = []
+        for row in reversed(rows):
+            if row not in expected:
+                expected.append(row)
+            if len(expected) == ways:
+                break
+        for row in expected:
+            assert table.lookup(0, 0, row) is not None

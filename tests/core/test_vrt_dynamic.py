@@ -1,0 +1,109 @@
+"""End-to-end test of VRT discovery driving dynamic CROW-ref remapping
+(paper Section 4.2.3: periodic profiling + runtime remap)."""
+
+import pytest
+
+from repro.controller import ChannelController, MemRequest, RequestType
+from repro.core import CrowRef, RetentionProfiler
+from repro.dram import (
+    AddressMapper,
+    DramChannel,
+    DramGeometry,
+    RetentionModel,
+    TimingParameters,
+)
+from repro.dram.address import DramAddress
+from repro.dram.commands import CommandKind, RowKind
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+MAPPER = AddressMapper(GEO)
+
+
+def drain(controller, now=0):
+    while controller.pending_requests:
+        now = max(controller.tick(now), now + 1)
+    return now
+
+
+class TestVrtFlow:
+    def _build(self):
+        retention = RetentionModel(
+            GEO, target_interval_ms=128.0, weak_rows_per_subarray=0
+        )
+        ref = CrowRef(GEO, TIMING, retention)
+        profiler = RetentionProfiler(
+            GEO, retention, vrt_rate_per_pass=2.0, seed=3
+        )
+        channel = DramChannel(GEO, TIMING)
+        controller = ChannelController(channel, mechanism=ref,
+                                       refresh_enabled=False)
+        return ref, profiler, channel, controller
+
+    def test_discovered_rows_get_remapped_on_next_activation(self):
+        ref, profiler, channel, controller = self._build()
+        discoveries = []
+        for _ in range(5):
+            discoveries.extend(profiler.periodic_profile())
+        assert discoveries, "profiler should find VRT rows"
+        accepted = [
+            (bank, row) for bank, row in discoveries
+            if ref.request_remap(bank, row)
+        ]
+        assert accepted
+        now = 0
+        for bank, row in accepted:
+            addr = MAPPER.encode(
+                DramAddress(channel=0, rank=0, bank=bank, row=row, col=0)
+            )
+            controller.enqueue(
+                MemRequest(RequestType.READ, addr, MAPPER.decode(addr)), now
+            )
+            now = drain(controller, now)
+        # Every accepted discovery is now served from a copy row.
+        for bank, row in accepted:
+            assert ref.service_row(bank, row).kind is RowKind.COPY
+        # The remap used ACT-c commands.
+        assert channel.counts[CommandKind.ACT_C] == len(accepted)
+
+    def test_remap_activation_fully_restores_copy(self):
+        """The dynamically-remapped copy row must be usable alone, so the
+        ACT-c must honor the full tRAS before precharge."""
+        ref, profiler, channel, controller = self._build()
+        ref.request_remap(0, 7)
+        addr = MAPPER.encode(
+            DramAddress(channel=0, rank=0, bank=0, row=7, col=0)
+        )
+        controller.enqueue(
+            MemRequest(RequestType.READ, addr, MAPPER.decode(addr)), 0
+        )
+        now = drain(controller)
+        # Force the row closed; the PRE must have waited the full tRAS.
+        for _ in range(600):
+            if not channel.banks[0].is_open:
+                break
+            now = max(controller.tick(now), now + 1)
+        entry = ref.table.lookup(0, 0, 7)
+        assert entry is not None
+        assert entry.is_fully_restored
+
+    def test_second_activation_uses_copy_alone(self):
+        ref, profiler, channel, controller = self._build()
+        ref.request_remap(0, 7)
+        addr = MAPPER.encode(
+            DramAddress(channel=0, rank=0, bank=0, row=7, col=0)
+        )
+        controller.enqueue(
+            MemRequest(RequestType.READ, addr, MAPPER.decode(addr)), 0
+        )
+        now = drain(controller)
+        for _ in range(600):
+            if not channel.banks[0].is_open:
+                break
+            now = max(controller.tick(now), now + 1)
+        controller.enqueue(
+            MemRequest(RequestType.READ, addr, MAPPER.decode(addr)), now
+        )
+        drain(controller, now)
+        assert channel.counts[CommandKind.ACT_C] == 1
+        assert channel.counts[CommandKind.ACT] == 1   # plain ACT of the copy

@@ -1,0 +1,277 @@
+"""Tests for bank state machines and channel-level command enforcement."""
+
+import pytest
+
+from repro.dram import (
+    BankState,
+    CrowTimings,
+    DramChannel,
+    DramGeometry,
+    TimingParameters,
+)
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId
+from repro.errors import ConfigError, ProtocolError, TimingViolationError
+
+
+GEO = DramGeometry()
+TIMING = TimingParameters.lpddr4()
+CROW = CrowTimings.from_factors(TIMING)
+
+
+def act(row: int, bank: int = 0) -> Command:
+    return Command(CommandKind.ACT, bank=bank, rows=(RowId.regular(row, 512),))
+
+
+def act_t(row: int, copy_index: int = 0, bank: int = 0,
+          partial: bool = False, early: bool = True) -> Command:
+    regular = RowId.regular(row, 512)
+    timings = ActTimings(
+        trcd=CROW.trcd_act_t_partial if partial else CROW.trcd_act_t_full,
+        tras_full=CROW.tras_act_t_full,
+        tras_early=CROW.tras_act_t_early if early else CROW.tras_act_t_full,
+        twr=CROW.twr_mra_early,
+        twr_full=CROW.twr_mra_full,
+    )
+    return Command(
+        CommandKind.ACT_T,
+        bank=bank,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=timings,
+    )
+
+
+class TestBankState:
+    def test_activate_then_read_honors_trcd(self):
+        bank = BankState(TIMING)
+        bank.issue_act(0, (RowId.regular(5, 512),), ActTimings(
+            trcd=TIMING.trcd, tras_full=TIMING.tras,
+            tras_early=TIMING.tras, twr=TIMING.twr))
+        assert bank.earliest_col() == TIMING.trcd
+        with pytest.raises(TimingViolationError):
+            bank.issue_rd(TIMING.trcd - 1)
+        bank.issue_rd(TIMING.trcd)
+
+    def test_precharge_honors_tras(self):
+        bank = BankState(TIMING)
+        bank.issue_act(0, (RowId.regular(5, 512),), ActTimings(
+            trcd=TIMING.trcd, tras_full=TIMING.tras,
+            tras_early=TIMING.tras, twr=TIMING.twr))
+        assert bank.earliest_pre() == TIMING.tras
+        with pytest.raises(TimingViolationError):
+            bank.issue_pre(TIMING.tras - 1)
+        result = bank.issue_pre(TIMING.tras)
+        assert result.fully_restored
+
+    def test_activate_open_bank_is_protocol_error(self):
+        bank = BankState(TIMING)
+        timings = ActTimings(trcd=29, tras_full=68, tras_early=68, twr=29)
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        with pytest.raises(ProtocolError):
+            bank.earliest_act()
+
+    def test_read_closed_bank_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            BankState(TIMING).earliest_col()
+
+    def test_precharge_after_read_waits_trtp(self):
+        bank = BankState(TIMING)
+        timings = ActTimings(trcd=29, tras_full=68, tras_early=68, twr=29)
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        late_read = 100
+        bank.issue_rd(late_read)
+        assert bank.earliest_pre() == late_read + TIMING.trtp
+
+    def test_precharge_after_write_waits_twr(self):
+        bank = BankState(TIMING)
+        timings = ActTimings(trcd=29, tras_full=68, tras_early=68, twr=29)
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        bank.issue_wr(40)
+        expected = 40 + TIMING.tcwl + TIMING.tbl + TIMING.twr
+        assert bank.earliest_pre() == expected
+
+    def test_early_tras_allows_earlier_precharge(self):
+        bank = BankState(TIMING)
+        timings = ActTimings(
+            trcd=CROW.trcd_act_t_full,
+            tras_full=CROW.tras_act_t_full,
+            tras_early=CROW.tras_act_t_early,
+            twr=TIMING.twr,
+        )
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        assert bank.earliest_pre() == CROW.tras_act_t_early
+        result = bank.issue_pre(CROW.tras_act_t_early)
+        assert not result.fully_restored
+
+    def test_waiting_full_tras_restores_fully(self):
+        bank = BankState(TIMING)
+        timings = ActTimings(
+            trcd=CROW.trcd_act_t_full,
+            tras_full=CROW.tras_act_t_full,
+            tras_early=CROW.tras_act_t_early,
+            twr=TIMING.twr,
+        )
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        result = bank.issue_pre(CROW.tras_act_t_full)
+        assert result.fully_restored
+
+    def test_reduced_twr_write_blocks_full_restoration(self):
+        """A write with early-terminated tWR leaves the pair partial even
+        when tRAS-full has elapsed (paper Section 4.1.3)."""
+        bank = BankState(TIMING)
+        timings = ActTimings(
+            trcd=CROW.trcd_act_t_full,
+            tras_full=CROW.tras_act_t_full,
+            tras_early=CROW.tras_act_t_early,
+            twr=CROW.twr_mra_early,
+            twr_full=CROW.twr_mra_full,
+        )
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        wr_time = CROW.tras_act_t_full
+        bank.issue_wr(wr_time)
+        pre_at = wr_time + TIMING.tcwl + TIMING.tbl + CROW.twr_mra_early
+        assert not bank.fully_restored_if_precharged_at(pre_at)
+        full_at = wr_time + TIMING.tcwl + TIMING.tbl + CROW.twr_mra_full
+        assert bank.fully_restored_if_precharged_at(full_at)
+
+    def test_reactivation_after_precharge_waits_trp(self):
+        bank = BankState(TIMING)
+        timings = ActTimings(trcd=29, tras_full=68, tras_early=68, twr=29)
+        bank.issue_act(0, (RowId.regular(5, 512),), timings)
+        bank.issue_pre(TIMING.tras)
+        assert bank.earliest_act() == TIMING.tras + TIMING.trp
+
+
+class TestChannelConstraints:
+    def test_trrd_between_activations(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0, bank=0), 0)
+        assert channel.earliest_issue(act(0, bank=1)) == TIMING.trrd
+
+    def test_tfaw_limits_four_activations(self):
+        channel = DramChannel(GEO, TIMING)
+        for i in range(4):
+            cmd = act(0, bank=i)
+            channel.issue(cmd, channel.earliest_issue(cmd))
+        fifth = act(0, bank=4)
+        assert channel.earliest_issue(fifth) >= TIMING.tfaw
+
+    def test_data_bus_tccd_between_reads(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0, bank=0), 0)
+        channel.issue(act(0, bank=1), TIMING.trrd)
+        rd0 = Command(CommandKind.RD, bank=0, col=0)
+        t0 = channel.earliest_issue(rd0)
+        channel.issue(rd0, t0)
+        rd1 = Command(CommandKind.RD, bank=1, col=0)
+        expected = max(t0 + TIMING.tccd, TIMING.trrd + TIMING.trcd)
+        assert channel.earliest_issue(rd1) == expected
+        # Issue a second read on the *same* bank to isolate the bus bound.
+        rd0b = Command(CommandKind.RD, bank=0, col=1)
+        assert channel.earliest_issue(rd0b) == t0 + TIMING.tccd
+
+    def test_write_to_read_turnaround(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0, bank=0), 0)
+        wr = Command(CommandKind.WR, bank=0, col=0)
+        t0 = channel.earliest_issue(wr)
+        channel.issue(wr, t0)
+        rd = Command(CommandKind.RD, bank=0, col=1)
+        expected = t0 + TIMING.tcwl + TIMING.tbl + TIMING.twtr
+        assert channel.earliest_issue(rd) == expected
+
+    def test_read_returns_data_time(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0), 0)
+        rd = Command(CommandKind.RD, bank=0, col=0)
+        t0 = channel.earliest_issue(rd)
+        result = channel.issue(rd, t0)
+        assert result.data_at == t0 + TIMING.tcl + TIMING.tbl
+
+    def test_issue_too_early_raises(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0), 0)
+        with pytest.raises(TimingViolationError):
+            channel.issue(Command(CommandKind.RD, bank=0, col=0), 1)
+
+
+class TestCrowCommandsOnDevice:
+    def test_act_t_enables_early_read(self):
+        channel = DramChannel(GEO, TIMING)
+        cmd = act_t(100)
+        channel.issue(cmd, 0)
+        rd = Command(CommandKind.RD, bank=0, col=0)
+        assert channel.earliest_issue(rd) == CROW.trcd_act_t_full
+        assert CROW.trcd_act_t_full < TIMING.trcd
+
+    def test_act_t_occupies_command_bus_two_cycles(self):
+        """The copy-row address needs an extra transfer cycle."""
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act_t(100, bank=0), 0)
+        assert channel.cmd_bus_free == 2
+        channel2 = DramChannel(GEO, TIMING)
+        channel2.issue(act(100, bank=0), 0)
+        assert channel2.cmd_bus_free == 1
+
+    def test_act_t_pair_is_visible_as_open(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act_t(100), 0)
+        rows = channel.open_rows(0)
+        assert rows is not None and len(rows) == 2
+
+    def test_act_t_rejects_cross_subarray_pair(self):
+        regular = RowId.regular(100, 512)       # subarray 0
+        copy = RowId.copy(5, 0)                 # subarray 5
+        with pytest.raises(ConfigError):
+            Command(CommandKind.ACT_T, bank=0, rows=(regular, copy))
+
+    def test_act_c_copy_target_must_be_copy_row(self):
+        with pytest.raises(ConfigError):
+            Command(
+                CommandKind.ACT_C,
+                bank=0,
+                rows=(RowId.regular(100, 512), RowId.regular(101, 512)),
+            )
+
+
+class TestRefresh:
+    def test_refresh_requires_closed_banks(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0), 0)
+        with pytest.raises(ProtocolError):
+            channel.earliest_issue(Command(CommandKind.REF))
+
+    def test_refresh_blocks_activations_for_trfc(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(Command(CommandKind.REF), 0)
+        assert channel.earliest_issue(act(0)) == TIMING.trfc
+
+    def test_refresh_cursor_advances(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(Command(CommandKind.REF), 0)
+        first = channel.refresh_cursor
+        channel.issue(Command(CommandKind.REF), TIMING.trfc)
+        assert channel.refresh_cursor == 2 * first
+
+    def test_refresh_counts(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(Command(CommandKind.REF), 0)
+        assert channel.counts[CommandKind.REF] == 1
+
+
+class TestStatistics:
+    def test_open_buffer_cycles_accumulate(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0), 0)
+        channel.issue(Command(CommandKind.PRE, bank=0), TIMING.tras)
+        assert channel.open_buffer_cycles(TIMING.tras) == TIMING.tras
+
+    def test_open_buffer_cycles_include_still_open(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0), 0)
+        assert channel.open_buffer_cycles(50) == 50
+
+    def test_activation_count_totals_all_kinds(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.issue(act(0, bank=0), 0)
+        channel.issue(act_t(0, bank=1), TIMING.trrd)
+        assert channel.activation_count == 2

@@ -1,0 +1,226 @@
+"""Tests for the functional cell array: RowClone, partial restore, retention,
+RowHammer disturbance."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (
+    CellArray,
+    CrowTimings,
+    DramChannel,
+    DramGeometry,
+    RetentionModel,
+    TimingParameters,
+)
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId
+from repro.errors import DataIntegrityError
+from repro.units import ms_to_cycles
+
+GEO = DramGeometry()
+TIMING = TimingParameters.lpddr4()
+CROW = CrowTimings.from_factors(TIMING)
+
+
+def make_channel(**cell_kwargs) -> tuple[DramChannel, CellArray]:
+    cells = CellArray(GEO, clock_mhz=TIMING.clock_mhz, **cell_kwargs)
+    return DramChannel(GEO, TIMING, cell_array=cells), cells
+
+
+def act_cmd(row: int) -> Command:
+    return Command(CommandKind.ACT, bank=0, rows=(RowId.regular(row, 512),))
+
+
+def act_c_cmd(row: int, copy_index: int = 0) -> Command:
+    regular = RowId.regular(row, 512)
+    timings = ActTimings(
+        trcd=CROW.trcd_act_c,
+        tras_full=CROW.tras_act_c_full,
+        tras_early=CROW.tras_act_c_early,
+        twr=CROW.twr_mra_early,
+        twr_full=CROW.twr_mra_full,
+    )
+    return Command(
+        CommandKind.ACT_C, bank=0,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=timings,
+    )
+
+
+def act_t_cmd(row: int, copy_index: int = 0, early: bool = True) -> Command:
+    regular = RowId.regular(row, 512)
+    timings = ActTimings(
+        trcd=CROW.trcd_act_t_full,
+        tras_full=CROW.tras_act_t_full,
+        tras_early=CROW.tras_act_t_early if early else CROW.tras_act_t_full,
+        twr=CROW.twr_mra_early,
+        twr_full=CROW.twr_mra_full,
+    )
+    return Command(
+        CommandKind.ACT_T, bank=0,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=timings,
+    )
+
+
+class TestRowClone:
+    def test_act_c_copies_data(self):
+        channel, cells = make_channel()
+        source = RowId.regular(10, 512)
+        cells.set_row_data(0, source, 0xDEADBEEF)
+        channel.issue(act_c_cmd(10), 0)
+        dest = RowId.copy(0, 0)
+        assert np.array_equal(cells.row_data(0, dest), cells.row_data(0, source))
+        assert cells.is_live(0, dest)
+
+    def test_copy_of_dead_row_stays_dead(self):
+        channel, cells = make_channel()
+        channel.issue(act_c_cmd(10), 0)
+        assert not cells.is_live(0, RowId.copy(0, 0))
+
+
+class TestPartialRestoreSafety:
+    def _open_pair_and_close_early(self, channel, cells, row=10):
+        cells.set_row_data(0, RowId.regular(row, 512), 0x1234)
+        channel.issue(act_c_cmd(row), 0)
+        pre = Command(CommandKind.PRE, bank=0)
+        channel.issue(pre, channel.earliest_issue(pre))  # early tRAS: partial
+
+    def test_early_precharge_marks_pair_partial(self):
+        channel, cells = make_channel()
+        self._open_pair_and_close_early(channel, cells)
+        assert cells.requires_pair(0, RowId.regular(10, 512))
+        assert cells.requires_pair(0, RowId.copy(0, 0))
+
+    def test_single_activation_of_partial_row_corrupts(self):
+        """The exact corruption scenario of Section 4.1.4."""
+        channel, cells = make_channel()
+        self._open_pair_and_close_early(channel, cells)
+        with pytest.raises(DataIntegrityError):
+            channel.issue(act_cmd(10), channel.earliest_issue(act_cmd(10)))
+
+    def test_pair_activation_of_partial_rows_is_safe(self):
+        channel, cells = make_channel()
+        self._open_pair_and_close_early(channel, cells)
+        cmd = act_t_cmd(10)
+        channel.issue(cmd, channel.earliest_issue(cmd))
+
+    def test_full_restore_clears_pair_requirement(self):
+        channel, cells = make_channel()
+        self._open_pair_and_close_early(channel, cells)
+        cmd = act_t_cmd(10, early=False)
+        channel.issue(cmd, channel.earliest_issue(cmd))
+        pre = Command(CommandKind.PRE, bank=0)
+        channel.issue(pre, channel.earliest_issue(pre))
+        assert not cells.requires_pair(0, RowId.regular(10, 512))
+        # Now a single activation is safe again.
+        channel.issue(act_cmd(10), channel.earliest_issue(act_cmd(10)))
+
+    def test_act_t_on_mismatched_data_raises(self):
+        channel, cells = make_channel()
+        cells.set_row_data(0, RowId.regular(10, 512), 0xAAAA)
+        cells.set_row_data(0, RowId.copy(0, 0), 0xBBBB)
+        with pytest.raises(DataIntegrityError):
+            channel.issue(act_t_cmd(10), 0)
+
+
+class TestRetention:
+    def test_fresh_row_reads_fine(self):
+        channel, cells = make_channel()
+        cells.set_row_data(0, RowId.regular(10, 512), 1)
+        channel.issue(act_cmd(10), 0)
+
+    def test_expired_row_raises(self):
+        channel, cells = make_channel()
+        cells.set_row_data(0, RowId.regular(10, 512), 1, now=0)
+        too_late = ms_to_cycles(200.0, TIMING.clock_mhz)
+        with pytest.raises(DataIntegrityError):
+            cells.on_activate(act_cmd(10), too_late)
+
+    def test_weak_row_fails_at_extended_interval(self):
+        retention = RetentionModel(GEO, target_interval_ms=128.0,
+                                   weak_rows_per_subarray=3, seed=5)
+        channel, cells = make_channel(retention=retention)
+        weak_index = sorted(retention.weak_regular_rows(0, 0, 0))[0]
+        cells.set_row_data(0, RowId.regular(weak_index, 512), 7, now=0)
+        at_127ms = ms_to_cycles(127.0, TIMING.clock_mhz)
+        with pytest.raises(DataIntegrityError):
+            cells.on_activate(act_cmd(weak_index), at_127ms)
+
+    def test_strong_row_survives_extended_interval(self):
+        retention = RetentionModel(GEO, target_interval_ms=128.0,
+                                   weak_rows_per_subarray=3, seed=5)
+        channel, cells = make_channel(retention=retention)
+        weak = retention.weak_regular_rows(0, 0, 0)
+        strong_index = next(i for i in range(512) if i not in weak)
+        cells.set_row_data(0, RowId.regular(strong_index, 512), 7, now=0)
+        at_127ms = ms_to_cycles(127.0, TIMING.clock_mhz)
+        cells.on_activate(act_cmd(strong_index), at_127ms)
+
+    def test_refresh_resets_retention_clock(self):
+        channel, cells = make_channel()
+        cells.set_row_data(0, RowId.regular(0, 512), 1, now=0)
+        half = ms_to_cycles(40.0, TIMING.clock_mhz)
+        cells.on_refresh(range(0, 8), half)
+        # 40 + 50 ms from set, but only 50 ms since refresh: safe.
+        cells.on_activate(act_cmd(0), half + ms_to_cycles(50.0, TIMING.clock_mhz))
+
+
+class TestRetentionModel:
+    def test_fixed_mode_plants_exact_count(self):
+        retention = RetentionModel(GEO, weak_rows_per_subarray=3, seed=9)
+        assert len(retention.weak_regular_rows(0, 0, 0)) == 3
+        assert len(retention.weak_regular_rows(1, 3, 77)) == 3
+
+    def test_sampled_mode_is_sparse(self):
+        retention = RetentionModel(GEO, target_interval_ms=128.0, seed=9)
+        total = sum(
+            len(retention.weak_regular_rows(0, 0, s)) for s in range(32)
+        )
+        assert total < 32  # weak rows are rare at 128 ms
+
+    def test_deterministic(self):
+        a = RetentionModel(GEO, weak_rows_per_subarray=2, seed=3)
+        b = RetentionModel(GEO, weak_rows_per_subarray=2, seed=3)
+        assert a.weak_regular_rows(0, 1, 2) == b.weak_regular_rows(0, 1, 2)
+
+    def test_weak_row_probability_matches_eq1(self):
+        from repro.dram.retention import bit_error_rate
+
+        retention = RetentionModel(GEO, target_interval_ms=256.0)
+        ber = bit_error_rate(256.0)
+        cells = GEO.row_size_bytes * 8
+        expected = 1.0 - (1.0 - ber) ** cells
+        assert retention.weak_row_probability == pytest.approx(expected)
+
+
+class TestRowHammer:
+    def test_hammering_flips_victim_bits(self):
+        channel, cells = make_channel(hammer_threshold=50)
+        victim = RowId.regular(11, 512)
+        cells.set_row_data(0, victim, 0xFFFFFFFFFFFFFFFF)
+        baseline = cells.row_data(0, victim).copy()
+        now = 0
+        for _ in range(50):
+            channel.issue(act_cmd(10), channel.earliest_issue(act_cmd(10)))
+            pre = Command(CommandKind.PRE, bank=0)
+            channel.issue(pre, channel.earliest_issue(pre))
+        assert cells.disturbance_flips > 0
+        assert not np.array_equal(cells.row_data(0, victim), baseline)
+
+    def test_refresh_resets_hammer_counter(self):
+        channel, cells = make_channel(hammer_threshold=50)
+        for _ in range(30):
+            channel.issue(act_cmd(10), channel.earliest_issue(act_cmd(10)))
+            pre = Command(CommandKind.PRE, bank=0)
+            channel.issue(pre, channel.earliest_issue(pre))
+        assert cells.hammer_count(0, 10) == 30
+        cells.on_refresh(range(8, 16), 10**6)
+        assert cells.hammer_count(0, 10) == 0
+
+    def test_dead_neighbors_are_not_counted(self):
+        channel, cells = make_channel(hammer_threshold=10)
+        for _ in range(10):
+            channel.issue(act_cmd(10), channel.earliest_issue(act_cmd(10)))
+            pre = Command(CommandKind.PRE, bank=0)
+            channel.issue(pre, channel.earliest_issue(pre))
+        assert cells.disturbance_flips == 0

@@ -1,0 +1,94 @@
+"""Property tests on the functional cell array's charge/retention model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram import CellArray, DramGeometry, TimingParameters
+from repro.dram.bank import PrechargeResult
+from repro.dram.commands import Command, CommandKind, RowId
+from repro.units import ms_to_cycles
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+
+
+def pre_result(rows, fully_restored):
+    return PrechargeResult(rows=rows, fully_restored=fully_restored,
+                           open_cycles=100)
+
+
+class TestChargeSemantics:
+    @given(row_number=st.integers(0, 4095), full=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_precharge_sets_consistent_state(self, row_number, full):
+        """After any precharge of a pair: charge and pairing agree."""
+        cells = CellArray(GEO, clock_mhz=TIMING.clock_mhz)
+        regular = RowId.regular(row_number, GEO.rows_per_subarray)
+        copy = RowId.copy(regular.subarray, 0)
+        cells.set_row_data(0, regular, 1)
+        cells.on_precharge(
+            Command(CommandKind.PRE, bank=0), now=100,
+            result=pre_result((regular, copy), full),
+        )
+        assert cells.requires_pair(0, regular) == (not full)
+        if full:
+            assert cells.charge_fraction(0, regular) == (
+                cells.tech.full_restore_fraction
+            )
+        else:
+            assert cells.charge_fraction(0, regular) < (
+                cells.tech.full_restore_fraction
+            )
+
+    @given(
+        elapsed_ms=st.floats(min_value=0.0, max_value=60.0),
+        row_number=st.integers(0, 4095),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_rows_never_expire_within_window(self, elapsed_ms, row_number):
+        """A fully-restored strong row is readable anywhere inside 64 ms."""
+        cells = CellArray(GEO, clock_mhz=TIMING.clock_mhz)
+        regular = RowId.regular(row_number, GEO.rows_per_subarray)
+        cells.set_row_data(0, regular, 7, now=0)
+        when = ms_to_cycles(elapsed_ms, TIMING.clock_mhz)
+        cells.on_activate(
+            Command(CommandKind.ACT, bank=0, rows=(regular,)), when
+        )   # must not raise
+
+    @given(row_number=st.integers(0, 4095))
+    @settings(max_examples=30, deadline=None)
+    def test_refresh_always_makes_single_activation_safe(self, row_number):
+        """Whatever the prior partial state, refresh re-enables single ACT."""
+        cells = CellArray(GEO, clock_mhz=TIMING.clock_mhz)
+        regular = RowId.regular(row_number, GEO.rows_per_subarray)
+        copy = RowId.copy(regular.subarray, 0)
+        cells.set_row_data(0, regular, 1)
+        cells.on_precharge(
+            Command(CommandKind.PRE, bank=0), now=100,
+            result=pre_result((regular, copy), fully_restored=False),
+        )
+        assert cells.requires_pair(0, regular)
+        bank_row = regular.bank_row(GEO.rows_per_subarray)
+        cells.on_refresh(range(bank_row, bank_row + 1), now=200)
+        assert not cells.requires_pair(0, regular)
+        cells.on_activate(
+            Command(CommandKind.ACT, bank=0, rows=(regular,)), 300
+        )
+
+    @given(pattern=st.integers(0, 2**63 - 1), row_number=st.integers(0, 4095))
+    @settings(max_examples=30, deadline=None)
+    def test_act_c_copy_is_exact(self, pattern, row_number):
+        cells = CellArray(GEO, clock_mhz=TIMING.clock_mhz)
+        regular = RowId.regular(row_number, GEO.rows_per_subarray)
+        copy = RowId.copy(regular.subarray, 1)
+        cells.set_row_data(0, regular, pattern)
+        from repro.dram.commands import ActTimings
+
+        command = Command(
+            CommandKind.ACT_C, bank=0, rows=(regular, copy),
+            timings=ActTimings(trcd=29, tras_full=81, tras_early=81, twr=29),
+        )
+        cells.on_activate(command, now=10)
+        import numpy as np
+
+        assert np.array_equal(cells.row_data(0, copy),
+                              cells.row_data(0, regular))

@@ -1,0 +1,108 @@
+"""Tests for DRAM geometry and timing parameter derivation."""
+
+import pytest
+
+from repro.dram import CrowTimings, DramGeometry, TimingParameters
+from repro.dram.timing import TRFC_NS_BY_DENSITY
+from repro.errors import ConfigError
+from repro.units import GIB
+
+
+class TestGeometry:
+    def test_table2_defaults(self):
+        geo = DramGeometry()
+        assert geo.channels == 4
+        assert geo.banks_per_rank == 8
+        assert geo.rows_per_bank == 65536
+        assert geo.subarrays_per_bank == 128
+        assert geo.columns_per_row == 128
+
+    def test_capacity(self):
+        assert DramGeometry().capacity_bytes == 16 * GIB
+
+    def test_total_subarrays(self):
+        """8 banks x 128 subarrays x 4 channels."""
+        assert DramGeometry().total_subarrays == 4096
+
+    def test_subarray_of_row(self):
+        geo = DramGeometry()
+        assert geo.subarray_of_row(0) == 0
+        assert geo.subarray_of_row(511) == 0
+        assert geo.subarray_of_row(512) == 1
+        assert geo.row_within_subarray(513) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            DramGeometry(banks_per_rank=6)
+
+    def test_rejects_fractional_subarrays(self):
+        with pytest.raises(ConfigError):
+            DramGeometry(rows_per_bank=1024, rows_per_subarray=512 + 256)
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ConfigError):
+            DramGeometry().subarray_of_row(65536)
+
+
+class TestTimingParameters:
+    def test_lpddr4_table2_anchors(self):
+        timing = TimingParameters.lpddr4()
+        assert timing.trcd == 29          # 18 ns @ 1600 MHz
+        assert timing.twr == 29
+        assert timing.trp == 29
+        assert 67 <= timing.tras <= 68    # 42 ns (paper rounds down)
+
+    def test_trc_is_tras_plus_trp(self):
+        timing = TimingParameters.lpddr4()
+        assert timing.trc == timing.tras + timing.trp
+
+    def test_trefi_64ms_window(self):
+        """64 ms / 8192 REF commands = 7.8125 us = 12500 cycles."""
+        assert TimingParameters.lpddr4(refresh_window_ms=64.0).trefi == 12500
+
+    def test_extended_window_doubles_trefi(self):
+        base = TimingParameters.lpddr4(refresh_window_ms=64.0)
+        extended = base.with_refresh_window(128.0)
+        assert extended.trefi == 2 * base.trefi
+        assert extended.trfc == base.trfc
+
+    def test_trfc_grows_with_density(self):
+        values = [
+            TimingParameters.lpddr4(density_gbit=d).trfc
+            for d in sorted(TRFC_NS_BY_DENSITY)
+        ]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_unknown_density_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingParameters.lpddr4(density_gbit=128)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ConfigError):
+            TimingParameters(trcd=0)
+
+
+class TestCrowTimings:
+    def test_from_paper_factors(self):
+        timing = TimingParameters.lpddr4()
+        crow = CrowTimings.from_factors(timing)
+        # Table 1: ACT-t on fully-restored rows cuts tRCD by 38%.
+        assert crow.trcd_act_t_full == pytest.approx(timing.trcd * 0.62, abs=1)
+        # ACT-c leaves tRCD unchanged and adds 18% to tRAS.
+        assert crow.trcd_act_c == timing.trcd
+        assert crow.tras_act_c_full == pytest.approx(timing.tras * 1.18, abs=1)
+        # Early termination always beats the full-restore variant.
+        assert crow.tras_act_t_early < crow.tras_act_t_full
+        assert crow.twr_mra_early < timing.twr < crow.twr_mra_full
+
+    def test_partial_rows_activate_slower_than_full(self):
+        crow = CrowTimings.from_factors(TimingParameters.lpddr4())
+        assert crow.trcd_act_t_partial > crow.trcd_act_t_full
+
+    def test_derived_factors_also_resolve(self):
+        from repro.circuit import derive_crow_timing_factors
+
+        timing = TimingParameters.lpddr4()
+        crow = CrowTimings.from_factors(timing, derive_crow_timing_factors())
+        assert crow.trcd_act_t_full < timing.trcd

@@ -1,0 +1,104 @@
+"""Tests for the IDD current set and the energy model."""
+
+import pytest
+
+from repro.dram import DramGeometry, DramChannel, TimingParameters
+from repro.dram.commands import Command, CommandKind, RowId
+from repro.energy import ChannelActivity, EnergyModel, IddCurrents
+from repro.errors import ConfigError
+
+TIMING = TimingParameters.lpddr4()
+
+
+def activity(**kwargs) -> ChannelActivity:
+    defaults = dict(
+        n_act=0, n_act_t=0, n_act_c=0, n_rd=0, n_wr=0, n_ref=0,
+        open_buffer_cycles=0, total_cycles=100_000,
+    )
+    defaults.update(kwargs)
+    return ChannelActivity(**defaults)
+
+
+class TestIddCurrents:
+    def test_open_bank_overhead_matches_datasheet_quote(self):
+        """Paper Section 8.1.4: IDD3N is 10.9% above IDD2N."""
+        i = IddCurrents.lpddr4()
+        assert i.idd3n / i.idd2n == pytest.approx(1.109, abs=0.002)
+
+    def test_refresh_current_grows_with_density(self):
+        values = [IddCurrents.lpddr4(d).idd5 for d in (8, 16, 32, 64)]
+        assert values == sorted(values) and values[0] < values[-1]
+
+    def test_rejects_unknown_density(self):
+        with pytest.raises(ConfigError):
+            IddCurrents.lpddr4(density_gbit=4)
+
+    def test_rejects_inverted_standby(self):
+        with pytest.raises(ConfigError):
+            IddCurrents(idd2n=40.0, idd3n=30.0)
+
+
+class TestEnergyModel:
+    @pytest.fixture
+    def model(self) -> EnergyModel:
+        return EnergyModel(TIMING)
+
+    def test_mra_activation_costs_more(self, model):
+        plain = model.breakdown(activity(n_act=100))
+        mra = model.breakdown(activity(n_act_t=100))
+        assert mra.activation_nj == pytest.approx(
+            plain.activation_nj * 1.058, rel=1e-6
+        )
+
+    def test_background_scales_with_time(self, model):
+        short = model.breakdown(activity(total_cycles=10_000))
+        long = model.breakdown(activity(total_cycles=20_000))
+        assert long.background_nj == pytest.approx(2 * short.background_nj)
+
+    def test_open_buffers_add_static_power(self, model):
+        closed = model.breakdown(activity())
+        open_ = model.breakdown(activity(open_buffer_cycles=100_000))
+        assert open_.background_nj > closed.background_nj
+        # The increment matches the IDD3N/IDD2N ratio when one buffer is
+        # open the whole time.
+        assert open_.background_nj / closed.background_nj == pytest.approx(
+            1.109, abs=0.002
+        )
+
+    def test_refresh_energy_grows_with_density(self):
+        low = EnergyModel(
+            TimingParameters.lpddr4(density_gbit=8), IddCurrents.lpddr4(8)
+        ).ref_energy_nj
+        high = EnergyModel(
+            TimingParameters.lpddr4(density_gbit=64), IddCurrents.lpddr4(64)
+        ).ref_energy_nj
+        assert high > 5 * low
+
+    def test_refresh_can_reach_half_of_idle_energy_at_64gbit(self):
+        """Section 1: refresh consumes up to ~50% of DRAM energy in
+        high-density idle systems."""
+        timing = TimingParameters.lpddr4(density_gbit=64)
+        model = EnergyModel(timing, IddCurrents.lpddr4(64))
+        refs_per_window = 8192
+        window_cycles = timing.trefi * refs_per_window
+        idle = model.breakdown(
+            activity(n_ref=refs_per_window, total_cycles=window_cycles)
+        )
+        share = idle.refresh_nj / idle.total_nj
+        assert 0.35 < share < 0.6
+
+    def test_breakdown_addition(self, model):
+        a = model.breakdown(activity(n_act=10))
+        b = model.breakdown(activity(n_rd=10))
+        combined = a + b
+        assert combined.total_nj == pytest.approx(a.total_nj + b.total_nj)
+
+    def test_from_channel_collects_counts(self):
+        geo = DramGeometry()
+        channel = DramChannel(geo, TIMING)
+        channel.issue(
+            Command(CommandKind.ACT, bank=0, rows=(RowId.regular(5, 512),)), 0
+        )
+        act = ChannelActivity.from_channel(channel, total_cycles=1000, now=500)
+        assert act.n_act == 1
+        assert act.open_buffer_cycles == 500

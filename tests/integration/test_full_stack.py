@@ -1,0 +1,112 @@
+"""Cross-module integration tests: conservation, ordering, and safety
+invariants over the full core → LLC → controller → DRAM stack."""
+
+import pytest
+
+from repro import SystemConfig, System, workload
+from repro.dram.commands import CommandKind
+
+RUN = dict(instructions=6_000, warmup_instructions=2_000,
+           prewarm_accesses=20_000)
+
+
+def build_and_run(mechanism="baseline", name="h264-dec", cores=1, **cfg):
+    config = SystemConfig(cores=cores, mechanism=mechanism, **cfg)
+    traces = [workload(name).trace(i) for i in range(cores)]
+    system = System(config, traces)
+    result = system.run(**RUN)
+    return system, result
+
+
+class TestCommandStreamInvariants:
+    def test_reads_match_served_requests(self):
+        system, result = build_and_run()
+        total_rd = sum(ch.counts[CommandKind.RD] for ch in system.channels)
+        served = result.controller_stats["reads_served"]
+        assert total_rd == served
+
+    def test_every_activation_eventually_precharged_or_open(self):
+        system, _ = build_and_run()
+        for channel in system.channels:
+            acts = channel.activation_count
+            pres = channel.counts[CommandKind.PRE]
+            still_open = sum(1 for bank in channel.banks if bank.is_open)
+            # Measured-region counts: PREs may close warm-up activations,
+            # so allow the off-by-open-banks slack in both directions.
+            assert abs(acts - pres) <= len(channel.banks)
+
+    def test_column_accesses_require_matching_activations(self):
+        """Row hits mean RD+WR >= ACTs; both are positive under load."""
+        system, _ = build_and_run(name="mcf")
+        for channel in system.channels:
+            col = channel.counts[CommandKind.RD] + channel.counts[CommandKind.WR]
+            if channel.activation_count:
+                assert col >= 1
+
+    def test_refresh_cadence(self):
+        system, result = build_and_run(name="mcf")
+        expected = result.cycles // system.timing.trefi
+        refreshes = result.controller_stats["refreshes"]
+        channels = len(system.channels)
+        assert refreshes >= channels * max(0, expected - 2)
+
+
+class TestDeterminismAcrossMechanisms:
+    @pytest.mark.parametrize(
+        "mechanism",
+        ["baseline", "crow-cache", "crow-ref", "crow-combined",
+         "tl-dram", "salp", "chargecache", "ideal-crow-cache"],
+    )
+    def test_repeatable(self, mechanism):
+        _, first = build_and_run(mechanism=mechanism, name="omnetpp")
+        _, second = build_and_run(mechanism=mechanism, name="omnetpp")
+        assert first.ipc == second.ipc
+        assert first.cycles == second.cycles
+        assert first.total_energy_nj == second.total_energy_nj
+
+
+class TestFunctionalSafetyUnderLoad:
+    """The full stack with the functional cell array attached: any
+    integrity violation raises DataIntegrityError and fails the test."""
+
+    @pytest.mark.parametrize("mechanism", ["crow-cache", "crow-combined"])
+    def test_mechanisms_preserve_integrity(self, mechanism):
+        _, result = build_and_run(
+            mechanism=mechanism, name="h264-dec", functional_cells=True
+        )
+        assert result.ipc > 0
+
+    def test_restore_policy_preserves_integrity(self):
+        _, result = build_and_run(
+            mechanism="crow-cache", name="omnetpp",
+            functional_cells=True, evict_partial="restore",
+        )
+        assert result.ipc > 0
+
+    def test_crow_ref_extended_window_with_cells(self):
+        _, result = build_and_run(
+            mechanism="crow-ref", name="mcf", functional_cells=True,
+        )
+        assert result.refresh_window_ms == 128.0
+
+
+class TestMultiChannelBalance:
+    def test_traffic_spreads_across_channels(self):
+        system, _ = build_and_run(name="mcf")
+        reads = [ch.counts[CommandKind.RD] for ch in system.channels]
+        assert all(count > 0 for count in reads)
+        assert max(reads) < 4 * max(1, min(reads))
+
+
+class TestPrefetcherIntegration:
+    def test_prefetches_fill_and_get_consumed(self):
+        system, _ = build_and_run(name="libq", prefetcher=True)
+        prefetcher = system.prefetchers[0]
+        assert prefetcher.issued > 0
+        assert prefetcher.useful > 0
+        assert prefetcher.accuracy() > 0.3
+
+    def test_random_pattern_yields_no_useful_prefetches(self):
+        system, _ = build_and_run(name="random", prefetcher=True)
+        prefetcher = system.prefetchers[0]
+        assert prefetcher.accuracy() < 0.5

@@ -1,0 +1,90 @@
+"""Tests for the disk-cached experiment campaign runner."""
+
+import dataclasses
+
+import pytest
+
+from repro import SystemConfig
+from repro.sim import Campaign
+from repro.errors import ConfigError
+
+RUN = dict(instructions=3_000, warmup_instructions=1_000)
+
+
+class TestCaching:
+    def test_second_run_is_a_cache_hit(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        first = campaign.run_workload("libq", SystemConfig(), **RUN)
+        second = campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert campaign.hits == 1 and campaign.misses == 1
+        assert first.ipc == second.ipc
+        assert first.total_energy_nj == second.total_energy_nj
+
+    def test_cache_distinguishes_configs(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        campaign.run_workload(
+            "libq", SystemConfig(mechanism="crow-cache"), **RUN
+        )
+        assert campaign.misses == 2
+
+    def test_cache_distinguishes_seeds_and_lengths(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.run_workload("libq", SystemConfig(), seed=0, **RUN)
+        campaign.run_workload("libq", SystemConfig(), seed=1, **RUN)
+        campaign.run_workload(
+            "libq", SystemConfig(), seed=0,
+            instructions=4_000, warmup_instructions=1_000,
+        )
+        assert campaign.misses == 3
+
+    def test_cached_result_equals_fresh_run(self, tmp_path):
+        from repro.sim import run_workload
+
+        campaign = Campaign(tmp_path)
+        cached = campaign.run_workload("h264-dec", SystemConfig(), **RUN)
+        fresh = run_workload("h264-dec", SystemConfig(), **RUN)
+        assert cached.ipc == fresh.ipc
+        assert cached.cycles == fresh.cycles
+
+    def test_mix_caching(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        names = ["libq", "bzip2"]
+        first = campaign.run_mix(
+            names, SystemConfig(cores=2),
+            instructions=2_000, warmup_instructions=500,
+        )
+        second = campaign.run_mix(
+            names, SystemConfig(cores=2),
+            instructions=2_000, warmup_instructions=500,
+        )
+        assert campaign.hits == 1
+        assert first.core_ipcs == second.core_ipcs
+
+    def test_clear(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert campaign.clear() == 1
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert campaign.misses == 2
+
+    def test_config_digest_covers_every_field(self, tmp_path):
+        """Changing any SystemConfig field must change the cache key."""
+        from repro.sim.campaign import _config_digest
+
+        base = SystemConfig()
+        digests = {_config_digest(base)}
+        variations = dict(
+            cores=2,
+            mechanism="crow-cache",
+            density_gbit=16,
+            copy_rows=4,
+            llc_size_bytes=1 << 20,
+            prefetcher=True,
+            seed=99,
+            evict_partial="restore",
+        )
+        for field, value in variations.items():
+            changed = dataclasses.replace(base, **{field: value})
+            digests.add(_config_digest(changed))
+        assert len(digests) == len(variations) + 1

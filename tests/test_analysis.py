@@ -1,0 +1,97 @@
+"""Tests for the analysis/reporting utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    TextTable,
+    ascii_bars,
+    format_table,
+    geometric_mean,
+    normalize,
+    summarize_speedups,
+)
+from repro.errors import ConfigError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "a    bb"
+        assert lines[1] == "---  --"
+        assert lines[2] == "1    2 "
+
+    def test_title_and_notes(self):
+        text = format_table(["x"], [["1"]], title="t", notes=["n"])
+        assert text.startswith("== t ==")
+        assert text.endswith("note: n")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestTextTable:
+    def test_float_formatting(self):
+        table = TextTable("t", ["name", "value"]).add_row("x", 1.23456)
+        assert "1.235" in table.render()
+
+    def test_bool_formatting(self):
+        table = TextTable("t", ["name", "value"]).add_row("x", True)
+        assert "yes" in table.render()
+
+    def test_chaining(self):
+        text = (
+            TextTable("t", ["a"])
+            .add_row(1)
+            .add_row(2)
+            .add_note("hello")
+            .render()
+        )
+        assert "hello" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigError):
+            TextTable("t", [])
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=1,
+                    max_size=20))
+    def test_gmean_bounded_by_min_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ConfigError):
+            normalize([1.0], 0.0)
+
+    def test_summarize(self):
+        summary = summarize_speedups({"a": 1.1, "b": 0.9})
+        assert summary["best"] == "a"
+        assert summary["worst"] == "b"
+        assert summary["mean"] == pytest.approx(1.0)
+
+
+class TestAsciiBars:
+    def test_renders_all_labels(self):
+        chart = ascii_bars({"crow": 1.07, "base": 1.0})
+        assert "crow" in chart and "base" in chart
+        assert "#" in chart
+
+    def test_baseline_annotation(self):
+        chart = ascii_bars({"crow": 1.10}, baseline=1.0)
+        assert "(+10.0%)" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_bars({})

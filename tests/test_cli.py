@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake3"])
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "libq", "--mechanism", "magic"]
+            )
+
+
+class TestCommands:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "libq" in out and "h264-dec" in out and "mcf" in out
+
+    def test_timings(self, capsys):
+        assert main(["timings", "--density", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "TRCD" in out and "ACT-t" in out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "chip area overhead" in out
+        assert "0.48%" in out
+
+    def test_run_with_baseline(self, capsys):
+        code = main([
+            "run", "h264-dec", "--mechanism", "crow-cache",
+            "--instructions", "5000", "--warmup", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup vs baseline" in out
+        assert "CROW-table hit rate" in out
+
+    def test_run_mix(self, capsys):
+        code = main([
+            "run", "libq", "bzip2", "--mechanism", "baseline",
+            "--instructions", "2000", "--warmup", "500",
+        ])
+        assert code == 0
+        assert "IPC (sum)" in capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""Tests for unit conversions and the exception hierarchy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import errors
+from repro.units import GIB, KIB, MIB, cycles_to_ns, ms_to_cycles, ns_to_cycles, us_to_cycles
+
+
+class TestConversions:
+    def test_lpddr4_trcd(self):
+        assert ns_to_cycles(18.0, 1600.0) == 29
+
+    def test_exact_cycle_boundary(self):
+        """A duration that is an exact number of cycles must not round up."""
+        assert ns_to_cycles(10.0, 1600.0) == 16
+
+    def test_round_trip_upper_bound(self):
+        cycles = ns_to_cycles(42.0, 1600.0)
+        assert cycles_to_ns(cycles, 1600.0) >= 42.0
+
+    def test_ms_to_cycles(self):
+        # 64 ms at 1600 MHz = 102.4 M cycles.
+        assert ms_to_cycles(64.0, 1600.0) == 102_400_000
+
+    def test_us_to_cycles(self):
+        assert us_to_cycles(7.8125, 1600.0) == 12_500
+
+    @given(st.floats(min_value=0.01, max_value=1e6))
+    def test_never_rounds_down(self, time_ns):
+        cycles = ns_to_cycles(time_ns, 1600.0)
+        assert cycles_to_ns(cycles, 1600.0) >= time_ns - 1e-6
+
+    def test_size_literals(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.TimingViolationError,
+            errors.ProtocolError,
+            errors.DataIntegrityError,
+            errors.CapacityError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_library_errors_are_catchable_separately(self):
+        try:
+            raise errors.TimingViolationError("late")
+        except errors.ProtocolError:   # pragma: no cover
+            pytest.fail("sibling exception types must not overlap")
+        except errors.TimingViolationError:
+            pass

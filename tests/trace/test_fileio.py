@@ -1,0 +1,109 @@
+"""Tests for Ramulator-format trace file I/O."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.core import TraceRecord
+from repro.errors import ConfigError
+from repro.trace.fileio import read_ramulator_trace, take, write_ramulator_trace
+
+
+class TestWrite:
+    def test_reads_only(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = [TraceRecord(5, 0x1000, False, 0),
+                   TraceRecord(7, 0x2000, False, 0)]
+        lines = write_ramulator_trace(path, records)
+        assert lines == 2
+        assert path.read_text() == "5 0x1000\n7 0x2000\n"
+
+    def test_write_attaches_as_writeback_column(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = [TraceRecord(5, 0x1000, False, 0),
+                   TraceRecord(0, 0x2000, True, 0)]
+        write_ramulator_trace(path, records)
+        assert path.read_text() == "5 0x1000 0x2000\n"
+
+    def test_standalone_write(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_ramulator_trace(path, [TraceRecord(3, 0x3000, True, 0)])
+        assert path.read_text() == "3 0x3000 0x3000\n"
+
+    def test_max_records(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = [TraceRecord(1, i * 64, False, 0) for i in range(100)]
+        write_ramulator_trace(path, records, max_records=10)
+        assert len(path.read_text().splitlines()) == 10
+
+
+class TestRead:
+    def test_round_trip_reads(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = [TraceRecord(5, 0x1000, False, 0),
+                    TraceRecord(7, 0x2040, False, 0)]
+        write_ramulator_trace(path, original)
+        loaded = list(read_ramulator_trace(path))
+        assert [(r.bubbles, r.vaddr, r.is_write) for r in loaded] == [
+            (5, 0x1000, False), (7, 0x2040, False)
+        ]
+
+    def test_writeback_column_becomes_write_record(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5 0x1000 0x2000\n")
+        loaded = list(read_ramulator_trace(path))
+        assert len(loaded) == 2
+        assert not loaded[0].is_write and loaded[0].vaddr == 0x1000
+        assert loaded[1].is_write and loaded[1].vaddr == 0x2000
+
+    def test_decimal_and_hex_addresses(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 4096\n2 0x2000\n")
+        loaded = list(read_ramulator_trace(path))
+        assert [r.vaddr for r in loaded] == [4096, 0x2000]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n1 0x40\n")
+        assert len(list(read_ramulator_trace(path))) == 1
+
+    def test_loop_repeats(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 0x40\n")
+        repeated = take(read_ramulator_trace(path, loop=True), 5)
+        assert len(repeated) == 5
+        assert all(r.vaddr == 0x40 for r in repeated)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 0x40 0x80 0xC0\n")
+        with pytest.raises(ConfigError):
+            list(read_ramulator_trace(path))
+
+    def test_negative_bubbles_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("-1 0x40\n")
+        with pytest.raises(ConfigError):
+            list(read_ramulator_trace(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            list(read_ramulator_trace(tmp_path / "nope.txt"))
+
+
+class TestEndToEnd:
+    def test_exported_workload_runs_through_simulator(self, tmp_path):
+        """Export a synthetic workload, reload it, and simulate it."""
+        from repro import SystemConfig, System, workload
+
+        path = tmp_path / "libq.trace"
+        write_ramulator_trace(path, workload("libq").trace(0),
+                              max_records=4000)
+        system = System(
+            SystemConfig(), [read_ramulator_trace(path, loop=True)]
+        )
+        result = system.run(
+            instructions=3_000, warmup_instructions=500,
+            prewarm_accesses=1_000,
+        )
+        assert result.ipc > 0

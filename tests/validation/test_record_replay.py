@@ -1,0 +1,156 @@
+"""Tests for command-stream recording and replay validation."""
+
+import pytest
+
+from repro import SystemConfig, System, workload
+from repro.dram import CrowTimings, DramChannel, DramGeometry, TimingParameters
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId
+from repro.errors import ConfigError
+from repro.validation import CommandRecorder, RecordedCommand, replay
+
+GEO = DramGeometry(rows_per_bank=4096, channels=1)
+TIMING = TimingParameters.lpddr4()
+CROW = CrowTimings.from_factors(TIMING)
+
+
+def act(row: int, bank: int = 0) -> Command:
+    return Command(CommandKind.ACT, bank=bank, rows=(RowId.regular(row, 512),))
+
+
+def act_t(row: int, copy_index: int = 0) -> Command:
+    regular = RowId.regular(row, 512)
+    return Command(
+        CommandKind.ACT_T, bank=0,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=ActTimings(
+            trcd=CROW.trcd_act_t_full, tras_full=CROW.tras_act_t_full,
+            tras_early=CROW.tras_act_t_early, twr=CROW.twr_mra_early,
+            twr_full=CROW.twr_mra_full,
+        ),
+    )
+
+
+def act_c(row: int, copy_index: int = 0) -> Command:
+    regular = RowId.regular(row, 512)
+    return Command(
+        CommandKind.ACT_C, bank=0,
+        rows=(regular, RowId.copy(regular.subarray, copy_index)),
+        timings=ActTimings(
+            trcd=CROW.trcd_act_c, tras_full=CROW.tras_act_c_full,
+            tras_early=CROW.tras_act_c_full, twr=CROW.twr_mra_full,
+        ),
+    )
+
+
+class TestRecorder:
+    def test_records_issued_commands(self):
+        channel = DramChannel(GEO, TIMING)
+        channel.recorder = CommandRecorder()
+        channel.issue(act(5), 0)
+        assert len(channel.recorder) == 1
+        cycle, command = channel.recorder.records[0]
+        assert cycle == 0 and command.kind is CommandKind.ACT
+
+    def test_rejected_commands_not_recorded(self):
+        from repro.errors import TimingViolationError
+
+        channel = DramChannel(GEO, TIMING)
+        channel.recorder = CommandRecorder()
+        channel.issue(act(5), 0)
+        with pytest.raises(TimingViolationError):
+            channel.issue(Command(CommandKind.RD, bank=0, col=0), 1)
+        assert len(channel.recorder) == 1
+
+    def test_capacity_drops_excess(self):
+        recorder = CommandRecorder(capacity=1)
+        recorder.record(0, act(1))
+        recorder.record(1, act(2))
+        assert len(recorder) == 1 and recorder.dropped == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        recorder = CommandRecorder()
+        recorder.record(0, act_c(5))
+        recorder.record(100, Command(CommandKind.PRE, bank=0))
+        recorder.record(200, act_t(5))
+        path = tmp_path / "cmds.jsonl"
+        recorder.save(path)
+        loaded = CommandRecorder.load(path)
+        assert loaded.records == recorder.records
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CommandRecorder.load(tmp_path / "nope.jsonl")
+
+
+class TestReplay:
+    def test_clean_stream_passes(self):
+        stream = [
+            RecordedCommand(0, act_c(5)),
+            RecordedCommand(100, Command(CommandKind.PRE, bank=0)),
+            RecordedCommand(200, act_t(5)),
+        ]
+        report = replay(stream, GEO, TIMING)
+        assert report.ok, report.summary()
+        assert report.commands == 3
+
+    def test_timing_violation_detected(self):
+        stream = [
+            RecordedCommand(0, act(5)),
+            RecordedCommand(1, Command(CommandKind.RD, bank=0, col=0)),
+        ]
+        report = replay(stream, GEO, TIMING)
+        assert not report.ok
+        assert report.violations[0].kind == "timing"
+
+    def test_act_t_without_prior_copy_detected(self):
+        """ACT-t on a pair that was never duplicated corrupts data."""
+        stream = [RecordedCommand(0, act_t(5))]
+        report = replay(stream, GEO, TIMING)
+        assert not report.ok
+        assert report.violations[0].kind == "integrity"
+
+    def test_unsafe_partial_eviction_detected(self):
+        """Close a pair early (partial), then single-activate the row."""
+        early_pre = CROW.tras_act_t_early
+        stream = [
+            RecordedCommand(0, act_c(5)),
+            RecordedCommand(CROW.tras_act_c_full,
+                            Command(CommandKind.PRE, bank=0)),
+            RecordedCommand(1000, act_t(5)),
+            RecordedCommand(1000 + early_pre,
+                            Command(CommandKind.PRE, bank=0)),
+            RecordedCommand(2000, act(5)),   # single ACT of partial row
+        ]
+        report = replay(stream, GEO, TIMING)
+        assert not report.ok
+        assert any(v.kind == "integrity" for v in report.violations)
+
+    def test_out_of_order_stream_detected(self):
+        stream = [
+            RecordedCommand(100, act(5)),
+            RecordedCommand(50, Command(CommandKind.PRE, bank=0)),
+        ]
+        report = replay(stream, GEO, TIMING)
+        assert any(v.kind == "order" for v in report.violations)
+
+    def test_stop_at_first(self):
+        stream = [RecordedCommand(0, act_t(5)), RecordedCommand(0, act_t(6))]
+        report = replay(stream, GEO, TIMING, stop_at_first=True)
+        assert len(report.violations) == 1
+
+
+class TestEndToEndValidation:
+    @pytest.mark.parametrize("mechanism", ["baseline", "crow-cache"])
+    def test_full_system_streams_replay_clean(self, mechanism):
+        """The streams our controller + mechanisms emit must replay with
+        zero violations — the strongest whole-stack correctness check."""
+        config = SystemConfig(mechanism=mechanism, record_commands=True)
+        system = System(config, [workload("h264-dec").trace(0)])
+        system.run(instructions=4_000, warmup_instructions=1_000,
+                   prewarm_accesses=10_000)
+        total = 0
+        for recorder in system.recorders:
+            report = replay(recorder, system.geometry, system.timing)
+            assert report.ok, report.summary()
+            total += report.commands
+        assert total > 0
