@@ -9,16 +9,25 @@ Run lengths are scaled for a pure-Python cycle simulator (the paper uses
 200M-instruction SimPoints on a C++ simulator); set the environment
 variable ``REPRO_BENCH_SCALE`` to a float to lengthen or shorten every run
 (e.g. ``REPRO_BENCH_SCALE=4`` for higher-fidelity overnight runs).
+
+Sweeps are embarrassingly parallel: set ``REPRO_BENCH_JOBS=N`` to fan the
+figure scripts' simulations out over N worker processes via
+:mod:`repro.exec` (``1``, the default, runs serially in-process). Set
+``REPRO_BENCH_CACHE=<dir>`` to reuse a persistent result cache across
+benchmark invocations, and ``REPRO_BENCH_JOURNAL=<file>`` to append a
+JSONL execution journal.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import tempfile
 from pathlib import Path
 
 __all__ = [
     "SCALE",
+    "JOBS",
     "INSTRUCTIONS",
     "WARMUP",
     "MIX_INSTRUCTIONS",
@@ -26,9 +35,13 @@ __all__ = [
     "SINGLE_CORE_SAMPLE",
     "report",
     "fmt",
+    "sweep",
 ]
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Worker processes for figure sweeps (1 = serial, no subprocesses).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 #: Single-core measured / warm-up instruction counts.
 INSTRUCTIONS = int(40_000 * SCALE)
@@ -47,6 +60,38 @@ SINGLE_CORE_SAMPLE = (
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def sweep(tasks, jobs: "int | None" = None) -> list:
+    """Run a list of ``repro.exec.TaskSpec``, results in task order.
+
+    ``jobs`` defaults to ``REPRO_BENCH_JOBS``. The serial un-cached path
+    (``jobs=1`` and no ``REPRO_BENCH_CACHE``) executes each task inline —
+    byte-identical to calling ``run_workload``/``run_mix`` directly.
+    Parallel runs go through ``ParallelCampaign``: worker-process fan-out
+    with crash isolation and retries, backed by a disk cache
+    (``REPRO_BENCH_CACHE`` or a fresh per-invocation temp dir, so stale
+    results can never leak into a sweep unless explicitly requested).
+    """
+    tasks = list(tasks)
+    jobs = JOBS if jobs is None else jobs
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    if jobs <= 1 and cache_dir is None:
+        return [task.run() for task in tasks]
+
+    from repro.exec import ParallelCampaign
+
+    directory = cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
+    stderr = getattr(sys, "__stderr__", None)
+    with ParallelCampaign(
+        directory,
+        jobs=jobs,
+        timeout_s=float(os.environ.get("REPRO_BENCH_TIMEOUT", "0") or 0)
+        or None,
+        journal=os.environ.get("REPRO_BENCH_JOURNAL"),
+        progress=bool(stderr is not None and stderr.isatty()),
+    ) as campaign:
+        return campaign.results(tasks)
 
 
 def fmt(value: float, kind: str = "x") -> str:

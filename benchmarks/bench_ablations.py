@@ -17,9 +17,10 @@ quantifies each by toggling it:
 
 import statistics
 
-from repro import SystemConfig, run_workload
+from repro import SystemConfig
+from repro.exec import TaskSpec
 
-from _harness import INSTRUCTIONS, WARMUP, report
+from _harness import INSTRUCTIONS, WARMUP, report, sweep
 
 SAMPLE = ("h264-dec", "soplex", "lbm", "omnetpp", "mcf")
 
@@ -45,21 +46,20 @@ ABLATIONS = {
 
 
 def _run():
-    baselines = {}
-    for name in SAMPLE:
-        baselines[name] = run_workload(
-            name, SystemConfig(),
-            instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+    run = dict(instructions=INSTRUCTIONS, warmup_instructions=WARMUP)
+    tasks = [TaskSpec.workload(name, SystemConfig(), **run) for name in SAMPLE]
+    for config in ABLATIONS.values():
+        tasks.extend(
+            TaskSpec.workload(name, config, **run) for name in SAMPLE
         )
+    results = iter(sweep(tasks))
+    baselines = {name: next(results) for name in SAMPLE}
     rows = []
     means = {}
-    for label, config in ABLATIONS.items():
+    for label in ABLATIONS:
         speedups = []
         for name in SAMPLE:
-            result = run_workload(
-                name, config,
-                instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
-            )
+            result = next(results)
             speedups.append(result.speedup_over(baselines[name]))
         means[label] = statistics.mean(speedups)
         rows.append([label, f"{means[label]:.3f}",

@@ -9,7 +9,8 @@ refresh energy by more.
 
 import statistics
 
-from repro import SystemConfig, build_mix, run_mix, run_workload
+from repro import SystemConfig, build_mix
+from repro.exec import TaskSpec
 
 from _harness import (
     INSTRUCTIONS,
@@ -18,38 +19,48 @@ from _harness import (
     SINGLE_CORE_SAMPLE,
     WARMUP,
     report,
+    sweep,
+)
+
+MIX_CASES = (
+    ("MMHH", 1), ("MMHH", 2), ("HHHH", 1), ("HHHH", 2), ("LLHH", 1),
 )
 
 
 def _run():
+    single_run = dict(instructions=INSTRUCTIONS, warmup_instructions=WARMUP)
+    mix_run = dict(
+        instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP
+    )
+    tasks = []
+    for name in SINGLE_CORE_SAMPLE:
+        tasks.append(TaskSpec.workload(name, SystemConfig(), **single_run))
+        tasks.append(TaskSpec.workload(
+            name, SystemConfig(mechanism="crow-cache"), **single_run
+        ))
+    for group, seed in MIX_CASES:
+        names = [w.name for w in build_mix(group, seed=seed)]
+        tasks.append(TaskSpec.mix(
+            names, SystemConfig(cores=4), **mix_run
+        ))
+        tasks.append(TaskSpec.mix(
+            names, SystemConfig(cores=4, mechanism="crow-cache"), **mix_run
+        ))
+    results = iter(sweep(tasks))
+
     rows = []
     single_ratios = []
     for name in SINGLE_CORE_SAMPLE:
-        base = run_workload(
-            name, SystemConfig(),
-            instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
-        )
-        crow = run_workload(
-            name, SystemConfig(mechanism="crow-cache"),
-            instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
-        )
+        base = next(results)
+        crow = next(results)
         ratio = crow.energy_ratio(base)
         single_ratios.append(ratio)
         rows.append([name, "1-core", f"{ratio:.3f}",
                      f"{crow.speedup_over(base):.3f}"])
     mix_ratios = []
-    for group, seed in (
-        ("MMHH", 1), ("MMHH", 2), ("HHHH", 1), ("HHHH", 2), ("LLHH", 1),
-    ):
-        mix = build_mix(group, seed=seed)
-        base = run_mix(
-            mix, SystemConfig(cores=4),
-            instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP,
-        )
-        crow = run_mix(
-            mix, SystemConfig(cores=4, mechanism="crow-cache"),
-            instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP,
-        )
+    for group, seed in MIX_CASES:
+        base = next(results)
+        crow = next(results)
         ratio = crow.energy_ratio(base)
         mix_ratios.append(ratio)
         rows.append([f"{group}#{seed}", "4-core", f"{ratio:.3f}", "-"])

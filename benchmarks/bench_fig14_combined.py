@@ -12,10 +12,11 @@ benefits hold across all LLC capacities.
 
 import statistics
 
-from repro import SystemConfig, build_mix, run_mix
+from repro import SystemConfig, build_mix
+from repro.exec import TaskSpec
 from repro.units import MIB
 
-from _harness import MIX_INSTRUCTIONS, MIX_WARMUP, report
+from _harness import MIX_INSTRUCTIONS, MIX_WARMUP, report, sweep
 
 LLC_SIZES = (1 * MIB, 8 * MIB, 32 * MIB)
 MIX_SEEDS = (1, 2, 3)
@@ -33,23 +34,36 @@ def _config(mechanism: str, llc: int) -> SystemConfig:
 
 
 def _run():
+    run_kwargs = dict(
+        instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP
+    )
+    mix_names = {
+        seed: [w.name for w in build_mix("HHHH", seed=seed)]
+        for seed in MIX_SEEDS
+    }
+    tasks = []
+    for llc in LLC_SIZES:
+        for seed in MIX_SEEDS:
+            tasks.append(TaskSpec.mix(
+                mix_names[seed], _config("baseline", llc), seed=seed,
+                **run_kwargs,
+            ))
+            for mechanism in MECHANISMS:
+                tasks.append(TaskSpec.mix(
+                    mix_names[seed], _config(mechanism, llc), seed=seed,
+                    **run_kwargs,
+                ))
+    task_results = iter(sweep(tasks))
+
     rows = []
     results: dict[tuple[int, str], dict[str, float]] = {}
     for llc in LLC_SIZES:
         speedups = {m: [] for m in MECHANISMS}
         energies = {m: [] for m in MECHANISMS}
         for seed in MIX_SEEDS:
-            mix = build_mix("HHHH", seed=seed)
-            base = run_mix(
-                mix, _config("baseline", llc), seed=seed,
-                instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP,
-            )
+            base = next(task_results)
             for mechanism in MECHANISMS:
-                result = run_mix(
-                    mix, _config(mechanism, llc), seed=seed,
-                    instructions=MIX_INSTRUCTIONS,
-                    warmup_instructions=MIX_WARMUP,
-                )
+                result = next(task_results)
                 speedups[mechanism].append(result.speedup_over(base))
                 energies[mechanism].append(result.energy_ratio(base))
         for mechanism in MECHANISMS:

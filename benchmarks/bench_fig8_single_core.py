@@ -12,9 +12,10 @@ hit rates 68.8% / 85.3% / 91.1%; no application slows down; restores are
 
 import statistics
 
-from repro import SystemConfig, WORKLOADS, run_workload
+from repro import SystemConfig, WORKLOADS
+from repro.exec import TaskSpec
 
-from _harness import INSTRUCTIONS, WARMUP, report
+from _harness import INSTRUCTIONS, WARMUP, report, sweep
 
 CONFIGS = {
     "crow-1": SystemConfig(mechanism="crow-cache", copy_rows=1),
@@ -26,21 +27,25 @@ CONFIGS = {
 
 def _run_suite():
     names = sorted(WORKLOADS)
+    run = dict(instructions=INSTRUCTIONS, warmup_instructions=WARMUP)
+    tasks = []
+    for name in names:
+        tasks.append(
+            TaskSpec.workload(name, SystemConfig(mechanism="baseline"), **run)
+        )
+        for config in CONFIGS.values():
+            tasks.append(TaskSpec.workload(name, config, **run))
+    results = iter(sweep(tasks))
+
     table = []
     speedups = {key: [] for key in CONFIGS}
     hit_rates = {key: [] for key in CONFIGS if key != "ideal"}
     restore_fractions = []
     for name in names:
-        base = run_workload(
-            name, SystemConfig(mechanism="baseline"),
-            instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
-        )
+        base = next(results)
         row = [name, f"{base.core_mpki[0]:.1f}"]
-        for key, config in CONFIGS.items():
-            result = run_workload(
-                name, config,
-                instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
-            )
+        for key in CONFIGS:
+            result = next(results)
             speedup = result.speedup_over(base)
             # Microbenchmarks are excluded from averages, as in the paper.
             if name not in ("random", "streaming"):

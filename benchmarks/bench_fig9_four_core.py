@@ -12,9 +12,10 @@ copy rows.
 
 import statistics
 
-from repro import SystemConfig, alone_ipcs, build_mix, run_mix
+from repro import SystemConfig, build_mix, derive_trace_seed
+from repro.exec import TaskSpec
 
-from _harness import MIX_INSTRUCTIONS, MIX_WARMUP, report
+from _harness import MIX_INSTRUCTIONS, MIX_WARMUP, report, sweep
 
 #: Groups (subset of the paper's eight) and mixes per group, sized for a
 #: Python-speed run; REPRO_BENCH_SCALE lengthens the runs themselves.
@@ -32,26 +33,48 @@ def _run_groups():
     run_kwargs = dict(
         instructions=MIX_INSTRUCTIONS, warmup_instructions=MIX_WARMUP
     )
-    alone_cache: dict[str, float] = {}
+    # Enumerate every simulation up front so the whole figure is one sweep.
+    mixes = {
+        (group, index): [w.name for w in build_mix(group, seed=index + 1)]
+        for group in GROUPS
+        for index in range(MIXES_PER_GROUP)
+    }
+    alone_names = sorted({name for names in mixes.values() for name in names})
+    # alone_ipcs([name], seed=0) derives the per-core trace seed for core 0.
+    alone_tasks = [
+        TaskSpec.workload(
+            name, SystemConfig(), seed=derive_trace_seed(0, 0), **run_kwargs
+        )
+        for name in alone_names
+    ]
+    mix_tasks = []
+    for (group, index), names in mixes.items():
+        mix_tasks.append(
+            TaskSpec.mix(names, SystemConfig(cores=4), seed=index,
+                         **run_kwargs)
+        )
+        for config in CONFIGS.values():
+            mix_tasks.append(
+                TaskSpec.mix(names, config, seed=index, **run_kwargs)
+            )
+    results = sweep(alone_tasks + mix_tasks)
+
+    alone_cache = {
+        name: result.ipc
+        for name, result in zip(alone_names, results[:len(alone_names)])
+    }
+    mix_results = iter(results[len(alone_names):])
     rows = []
     group_speedups: dict[str, dict[str, list[float]]] = {}
     for group in GROUPS:
         speedups = {key: [] for key in CONFIGS}
         for index in range(MIXES_PER_GROUP):
-            mix = build_mix(group, seed=index + 1)
-            names = [w.name for w in mix]
-            alone = []
-            for i, name in enumerate(names):
-                if name not in alone_cache:
-                    ipcs = alone_ipcs(
-                        [name], SystemConfig(), seed=0, **run_kwargs
-                    )
-                    alone_cache[name] = ipcs[0]
-                alone.append(alone_cache[name])
-            base = run_mix(mix, SystemConfig(cores=4), seed=index, **run_kwargs)
+            names = mixes[(group, index)]
+            alone = [alone_cache[name] for name in names]
+            base = next(mix_results)
             ws_base = base.weighted_speedup(alone)
-            for key, config in CONFIGS.items():
-                result = run_mix(mix, config, seed=index, **run_kwargs)
+            for key in CONFIGS:
+                result = next(mix_results)
                 speedups[key].append(result.weighted_speedup(alone) / ws_base)
         group_speedups[group] = speedups
         rows.append([

@@ -27,6 +27,7 @@ from repro.sim import (
     System,
     SystemConfig,
     alone_ipcs,
+    derive_trace_seed,
     run_mix,
     run_workload,
     weighted_speedup,
@@ -42,6 +43,7 @@ __all__ = [
     "run_workload",
     "run_mix",
     "alone_ipcs",
+    "derive_trace_seed",
     "weighted_speedup",
     "WORKLOADS",
     "MIX_GROUPS",

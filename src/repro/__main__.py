@@ -4,6 +4,8 @@ Subcommands:
 
 * ``run`` — simulate one workload (or a mix) under a mechanism and print
   the headline metrics, optionally against a baseline run.
+* ``campaign`` — sweep workloads × mechanisms on a parallel, cached,
+  fault-tolerant worker pool (``repro.exec``) and print a result table.
 * ``workloads`` — list the named workload suite.
 * ``timings`` — print the baseline + CROW command timing parameters.
 * ``overheads`` — print the CROW substrate cost model (Section 6).
@@ -62,6 +64,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row("energy vs baseline", result.energy_ratio(base))
     print(table.render())
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.exec import ParallelCampaign, TaskSpec
+
+    run_kwargs = dict(
+        instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        seed=args.seed,
+    )
+    tasks = []
+    for mechanism in args.mechanisms:
+        config = SystemConfig(
+            cores=len(args.workload) if args.mix else 1,
+            mechanism=mechanism,
+            density_gbit=args.density,
+        )
+        if args.mix:
+            tasks.append(TaskSpec.mix(args.workload, config, **run_kwargs))
+        else:
+            tasks.extend(
+                TaskSpec.workload(name, config, **run_kwargs)
+                for name in args.workload
+            )
+
+    directory = args.cache_dir or tempfile.mkdtemp(prefix="repro-campaign-")
+    with ParallelCampaign(
+        directory,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        journal=args.journal,
+        progress=sys.stderr.isatty(),
+    ) as campaign:
+        outcomes = campaign.run(tasks)
+
+        table = TextTable(
+            f"campaign over {len(tasks)} task(s), jobs={campaign.runner.jobs}",
+            ["task", "status", "IPC", "mem cycles", "energy (uJ)"],
+        )
+        baselines = {}
+        for outcome in outcomes:
+            spec, result = outcome.spec, outcome.result
+            if result is not None and spec.config.mechanism == "baseline":
+                baselines[spec.names] = result
+        for outcome in outcomes:
+            spec, result = outcome.spec, outcome.result
+            if not outcome.ok:
+                table.add_row(spec.label, f"FAILED ({outcome.error})",
+                              "-", "-", "-")
+                continue
+            status = "cached" if outcome.cached else "ran"
+            ipc = result.ipc if result.cores == 1 else result.ipc_sum
+            base = baselines.get(spec.names)
+            cell = f"{ipc:.4f}"
+            if base is not None and spec.config.mechanism != "baseline":
+                cell += f" ({result.speedup_over(base):.3f}x)"
+            table.add_row(
+                spec.label, status, cell, result.cycles,
+                f"{result.total_energy_nj / 1000.0:.2f}",
+            )
+        print(table.render())
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
+        print(
+            f"done={len(outcomes) - failed} failed={failed} "
+            f"cache hits={campaign.hits} misses={campaign.misses} "
+            f"cache dir={directory}"
+        )
+    return 1 if failed else 0
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -143,6 +216,49 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-baseline", dest="baseline", action="store_false",
                      help="skip the baseline comparison run")
     run.set_defaults(func=_cmd_run)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a workloads x mechanisms sweep on a parallel worker pool",
+    )
+    camp.add_argument("workload", nargs="+", choices=sorted(WORKLOADS),
+                      metavar="workload")
+    camp.add_argument(
+        "--mechanisms", nargs="+", default=["baseline", "crow-cache"],
+        choices=MECHANISMS, metavar="MECH",
+        help="mechanisms to sweep (default: baseline crow-cache)",
+    )
+    camp.add_argument(
+        "--mix", action="store_true",
+        help="treat the workload list as one multiprogrammed mix "
+             "(default: one single-core task per workload)",
+    )
+    camp.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = serial in-process)",
+    )
+    camp.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget before the worker is killed",
+    )
+    camp.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per task after a failure (default: 2)",
+    )
+    camp.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append a JSONL execution journal to FILE",
+    )
+    camp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache (default: fresh temp dir)",
+    )
+    camp.add_argument("--instructions", type=int, default=40_000)
+    camp.add_argument("--warmup", type=int, default=15_000)
+    camp.add_argument("--density", type=int, default=8,
+                      choices=(8, 16, 32, 64))
+    camp.add_argument("--seed", type=int, default=0)
+    camp.set_defaults(func=_cmd_campaign)
 
     wl = sub.add_parser("workloads", help="list the workload suite")
     wl.set_defaults(func=_cmd_workloads)

@@ -1,0 +1,169 @@
+"""Cache-aware parallel campaigns.
+
+:class:`ParallelCampaign` composes the :class:`~repro.sim.campaign.Campaign`
+disk cache with the :class:`~repro.exec.runner.ProcessPoolRunner`:
+completed tasks are served straight from cache, and only the misses are
+fanned out to worker processes. Because tasks are content-addressed (see
+:meth:`TaskSpec.digest`) and every simulation is a pure function of its
+spec, a parallel campaign produces *exactly* the cache entries and
+results a serial :class:`Campaign` would — scheduling changes wall-clock,
+never values.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.exec.journal import RunJournal
+from repro.exec.progress import ProgressReporter
+from repro.exec.runner import ProcessPoolRunner, TaskOutcome
+from repro.exec.task import TaskSpec, execute_task
+from repro.sim.campaign import Campaign
+from repro.sim.metrics import SimResult
+
+__all__ = ["ParallelCampaign"]
+
+
+class ParallelCampaign:
+    """Run a list of :class:`TaskSpec` through cache + worker pool.
+
+    :param directory: Campaign cache directory (shared with, and
+        byte-compatible with, the serial :class:`Campaign`).
+    :param jobs: worker slots (``1`` = serial in-process fallback).
+    :param timeout_s: per-attempt wall-clock budget (parallel runs only).
+    :param retries: extra attempts per task after the first failure.
+    :param journal: path of a JSONL run journal to append to, or ``None``.
+    :param progress: attach a live terminal progress/ETA reporter.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        jobs: "int | None" = None,
+        timeout_s: "float | None" = None,
+        retries: int = 2,
+        backoff_s: float = 0.5,
+        journal: "str | Path | None" = None,
+        progress: bool = False,
+        observers=(),
+    ) -> None:
+        self.campaign = Campaign(directory)
+        self.observers = list(observers)
+        self._journal: "RunJournal | None" = None
+        if journal is not None:
+            self._journal = RunJournal(journal)
+            self.observers.append(self._journal)
+        if progress:
+            self.observers.append(ProgressReporter(jobs=jobs or 1))
+        self.runner = ProcessPoolRunner(
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            observers=self.observers,
+        )
+
+    # -- cache bookkeeping ----------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.campaign.hits
+
+    @property
+    def misses(self) -> int:
+        return self.campaign.misses
+
+    def _path(self, spec: TaskSpec) -> Path:
+        return self.campaign.path_for(
+            spec.kind, spec.names, spec.config, spec.instructions,
+            spec.warmup_instructions, spec.seed,
+        )
+
+    def _emit(self, event: str, **fields) -> None:
+        for observer in self.observers:
+            observer(event, dict(fields))
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, specs, _fn=execute_task) -> "list[TaskOutcome]":
+        """Execute every spec; outcomes are returned in spec order.
+
+        Cached tasks never reach the pool. Failed tasks (retries
+        exhausted, including worker crashes and timeouts) yield
+        ``ok=False`` outcomes without aborting the rest of the campaign.
+        """
+        specs = list(specs)
+        started = time.monotonic()
+        self._emit(
+            "campaign_start", total=len(specs), jobs=self.runner.jobs,
+            directory=str(self.campaign.directory),
+        )
+        outcomes: "list[TaskOutcome | None]" = [None] * len(specs)
+        misses: "list[tuple[int, TaskSpec]]" = []
+        for index, spec in enumerate(specs):
+            cached = self.campaign.load_cached(self._path(spec))
+            if cached is not None:
+                self.campaign.hits += 1
+                outcomes[index] = TaskOutcome(
+                    spec, cached, None, attempts=0, cached=True
+                )
+                self._emit(
+                    "cache_hit", task=spec.label, digest=spec.digest(),
+                    index=index,
+                )
+            else:
+                misses.append((index, spec))
+
+        if misses:
+            ran = self.runner.run([spec for _, spec in misses], _fn)
+            for (index, spec), outcome in zip(misses, ran):
+                outcomes[index] = outcome
+                if outcome.ok:
+                    if not isinstance(outcome.result, SimResult):
+                        raise ConfigError(
+                            "campaign tasks must produce SimResult values"
+                        )
+                    self.campaign.store(self._path(spec), outcome.result)
+                    self.campaign.misses += 1
+
+        done = sum(1 for o in outcomes if o is not None and o.ok)
+        failed = len(specs) - done
+        self._emit(
+            "campaign_end", total=len(specs), done=done, failed=failed,
+            cache_hits=self.hits, wall_s=round(time.monotonic() - started, 3),
+        )
+        return outcomes  # type: ignore[return-value]
+
+    def results(self, specs, _fn=execute_task) -> "list[SimResult]":
+        """Like :meth:`run`, but unwrap results and fail loudly.
+
+        Raises :class:`ConfigError` listing every task that exhausted its
+        retries; use :meth:`run` to handle partial completion yourself.
+        """
+        outcomes = self.run(specs, _fn)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            summary = "; ".join(
+                f"{_spec_label(o.spec)}: {o.error}" for o in failures[:5]
+            )
+            raise ConfigError(
+                f"{len(failures)} campaign task(s) failed after retries: "
+                f"{summary}"
+            )
+        return [o.result for o in outcomes]
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+
+    def __enter__(self) -> "ParallelCampaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _spec_label(spec) -> str:
+    return getattr(spec, "label", None) or repr(spec)

@@ -1,0 +1,117 @@
+"""Live progress and ETA reporting for campaign runs.
+
+A :class:`ProgressReporter` is an engine observer: it consumes the same
+``(event, fields)`` stream the journal records and keeps a one-line
+status up to date on a terminal — tasks done/failed, cache hits, retries,
+active workers and a wall-clock ETA extrapolated from the mean task
+duration. It writes carriage-return-refreshed lines when attached to a
+TTY and plain newline-terminated lines otherwise (CI logs).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Render engine events as a live progress line with an ETA."""
+
+    def __init__(
+        self,
+        total: int = 0,
+        jobs: int = 1,
+        stream=None,
+        min_interval_s: float = 0.2,
+    ) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.retries = 0
+        self.active = 0
+        self._durations: list[float] = []
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._line_open = False
+
+    # -- observer protocol ---------------------------------------------
+
+    def __call__(self, event: str, fields: dict) -> None:
+        if event == "campaign_start":
+            self.total = fields.get("total", self.total)
+            self.jobs = max(1, fields.get("jobs", self.jobs))
+            self._started = time.monotonic()
+        elif event == "cache_hit":
+            self.cache_hits += 1
+        elif event == "task_start":
+            self.active += 1
+        elif event == "task_done":
+            self.active = max(0, self.active - 1)
+            self.done += 1
+            duration = fields.get("duration_s")
+            if duration is not None:
+                self._durations.append(float(duration))
+        elif event == "task_retry":
+            self.active = max(0, self.active - 1)
+            self.retries += 1
+        elif event == "task_failed":
+            self.active = max(0, self.active - 1)
+            self.failed += 1
+        self.render(final=(event == "campaign_end"))
+
+    # -- rendering ------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return self.done + self.failed + self.cache_hits
+
+    def eta_s(self) -> "float | None":
+        """Wall-clock estimate for the remaining tasks, if inferable."""
+        remaining = self.total - self.completed
+        if remaining <= 0 or not self._durations:
+            return None
+        mean = sum(self._durations) / len(self._durations)
+        return remaining * mean / self.jobs
+
+    def _format_line(self) -> str:
+        parts = [
+            f"[{self.completed}/{self.total}]",
+            f"done={self.done}",
+            f"failed={self.failed}",
+            f"hits={self.cache_hits}",
+        ]
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        parts.append(f"workers={self.active}/{self.jobs}")
+        if self._durations:
+            mean = sum(self._durations) / len(self._durations)
+            parts.append(f"avg={mean:.2f}s/task")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta={eta:.0f}s")
+        return " ".join(parts)
+
+    def render(self, final: bool = False) -> None:
+        now = time.monotonic()
+        if not final and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        line = self._format_line()
+        if final:
+            wall = now - self._started
+            line += f" wall={wall:.1f}s"
+        if getattr(self.stream, "isatty", lambda: False)():
+            self.stream.write("\r\x1b[2K" + line)
+            self._line_open = True
+            if final:
+                self.stream.write("\n")
+                self._line_open = False
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

@@ -1,0 +1,135 @@
+"""Task specifications for the execution engine.
+
+A :class:`TaskSpec` is the unit of work the engine schedules: one
+deterministic simulation — a single-core workload run or a
+multiprogrammed mix — fully described by value. Specs are frozen,
+picklable (they cross process boundaries) and content-addressed: two
+specs with equal fields share one :meth:`~TaskSpec.digest` in every
+process, which is what lets the runner, the journal and the disk cache
+all agree on task identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sim.campaign import cache_filename, task_digest
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.sweep import run_mix, run_workload
+
+__all__ = ["TaskSpec", "execute_task"]
+
+#: Task kinds, matching the Campaign cache-key prefixes.
+KINDS = ("wl", "mix")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One deterministic simulation, described entirely by value."""
+
+    kind: str                      # 'wl' (single-core) or 'mix'
+    names: tuple[str, ...]         # workload name(s); one per core for 'mix'
+    config: SystemConfig = field(default_factory=SystemConfig)
+    instructions: int = 60_000
+    warmup_instructions: int = 30_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown task kind {self.kind!r}; one of {KINDS}"
+            )
+        if not self.names:
+            raise ConfigError("a task needs at least one workload name")
+        if self.kind == "wl" and len(self.names) != 1:
+            raise ConfigError("'wl' tasks take exactly one workload name")
+        object.__setattr__(self, "names", tuple(self.names))
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def workload(
+        cls,
+        name: str,
+        config: SystemConfig | None = None,
+        instructions: int = 60_000,
+        warmup_instructions: int = 30_000,
+        seed: int = 0,
+    ) -> "TaskSpec":
+        """A single-core run (same semantics as sweep.run_workload)."""
+        return cls(
+            kind="wl",
+            names=(name,),
+            config=config if config is not None else SystemConfig(),
+            instructions=instructions,
+            warmup_instructions=warmup_instructions,
+            seed=seed,
+        )
+
+    @classmethod
+    def mix(
+        cls,
+        names: "list[str] | tuple[str, ...]",
+        config: SystemConfig | None = None,
+        instructions: int = 40_000,
+        warmup_instructions: int = 20_000,
+        seed: int = 0,
+    ) -> "TaskSpec":
+        """A multiprogrammed run (same semantics as sweep.run_mix)."""
+        return cls(
+            kind="mix",
+            names=tuple(names),
+            config=config if config is not None else SystemConfig(),
+            instructions=instructions,
+            warmup_instructions=warmup_instructions,
+            seed=seed,
+        )
+
+    # -- identity -------------------------------------------------------
+
+    def digest(self) -> str:
+        """Process-stable content digest (the Campaign cache key)."""
+        return task_digest(
+            self.kind, self.names, self.config, self.instructions,
+            self.warmup_instructions, self.seed,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for logs and progress lines."""
+        names = "+".join(self.names)
+        return f"{self.kind}:{names}@{self.config.mechanism}#{self.seed}"
+
+    def cache_filename(self) -> str:
+        """The Campaign cache file name this task's result lives under."""
+        return cache_filename(
+            self.kind, self.names, self.config, self.instructions,
+            self.warmup_instructions, self.seed,
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Execute the simulation this spec describes (deterministic)."""
+        if self.kind == "wl":
+            return run_workload(
+                self.names[0],
+                self.config,
+                instructions=self.instructions,
+                warmup_instructions=self.warmup_instructions,
+                seed=self.seed,
+            )
+        return run_mix(
+            list(self.names),
+            self.config,
+            instructions=self.instructions,
+            warmup_instructions=self.warmup_instructions,
+            seed=self.seed,
+        )
+
+
+def execute_task(spec: TaskSpec) -> SimResult:
+    """Module-level task entry point (picklable for worker processes)."""
+    return spec.run()

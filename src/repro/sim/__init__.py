@@ -3,7 +3,12 @@
 from repro.sim.config import SystemConfig
 from repro.sim.system import System
 from repro.sim.metrics import SimResult, weighted_speedup
-from repro.sim.sweep import run_workload, run_mix, alone_ipcs
+from repro.sim.sweep import (
+    run_workload,
+    run_mix,
+    alone_ipcs,
+    derive_trace_seed,
+)
 from repro.sim.campaign import Campaign
 
 __all__ = [
@@ -14,5 +19,6 @@ __all__ = [
     "run_workload",
     "run_mix",
     "alone_ipcs",
+    "derive_trace_seed",
     "Campaign",
 ]

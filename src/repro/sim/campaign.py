@@ -9,6 +9,11 @@ experiment script only pays for the runs whose inputs actually changed.
 
 Every simulation in this package is deterministic given its inputs, which
 is what makes result caching sound.
+
+The keying helpers (:func:`config_digest`, :func:`task_digest`,
+:func:`cache_filename`) are module-level and process-stable on purpose:
+:mod:`repro.exec` reuses them so a parallel campaign addresses exactly the
+same cache entries as a serial one.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import pickle
 from pathlib import Path
 
@@ -24,14 +30,27 @@ from repro.sim.metrics import SimResult
 from repro.sim.sweep import run_mix, run_workload
 from repro.errors import ConfigError
 
-__all__ = ["Campaign"]
+__all__ = [
+    "Campaign",
+    "config_digest",
+    "task_digest",
+    "cache_filename",
+]
 
 #: Bump when a change invalidates previously-cached results.
-CACHE_VERSION = 1
+#: v2: identity-free projection rejects address-bearing ``repr`` fallbacks
+#: and tags ``__dict__`` projections with the class name.
+CACHE_VERSION = 2
 
 
 def _jsonable(value):
-    """A stable, identity-free JSON projection of a config value."""
+    """A stable, identity-free JSON projection of a config value.
+
+    Raises :class:`ConfigError` for values with no stable representation
+    (anything that would fall back to the default ``object.__repr__``,
+    whose embedded memory address differs between runs and would silently
+    poison the cache key).
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _jsonable(getattr(value, field.name))
@@ -44,17 +63,64 @@ def _jsonable(value):
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
     if hasattr(value, "__dict__"):
-        return {
+        projection = {
             name: _jsonable(attr)
             for name, attr in sorted(vars(value).items())
         }
+        projection["__class__"] = type(value).__qualname__
+        return projection
+    if type(value).__repr__ is object.__repr__:
+        raise ConfigError(
+            f"config value of type {type(value).__qualname__!r} has no "
+            "stable representation and cannot be cache-keyed; give it a "
+            "deterministic __repr__ or use a dataclass"
+        )
     return repr(value)
 
 
-def _config_digest(config: SystemConfig) -> str:
+def config_digest(config: SystemConfig) -> str:
+    """Process-stable digest of a :class:`SystemConfig`."""
     payload = {"version": CACHE_VERSION, "config": _jsonable(config)}
     encoded = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(encoded.encode()).hexdigest()[:20]
+
+
+#: Backwards-compatible alias (tests and older callers import the
+#: underscore name).
+_config_digest = config_digest
+
+
+def task_digest(
+    kind: str,
+    names: tuple[str, ...],
+    config: SystemConfig,
+    instructions: int,
+    warmup_instructions: int,
+    seed: int,
+) -> str:
+    """Digest identifying one (kind, workloads, config, lengths, seed) run."""
+    return hashlib.sha256(
+        json.dumps(
+            [kind, list(names), config_digest(config), instructions,
+             warmup_instructions, seed],
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()[:24]
+
+
+def cache_filename(
+    kind: str,
+    names: tuple[str, ...],
+    config: SystemConfig,
+    instructions: int,
+    warmup_instructions: int,
+    seed: int,
+) -> str:
+    """The cache file name a run of these inputs is stored under."""
+    digest = task_digest(
+        kind, names, config, instructions, warmup_instructions, seed
+    )
+    return f"{kind}-{'_'.join(names)[:48]}-{digest}.pkl"
 
 
 class Campaign:
@@ -66,36 +132,66 @@ class Campaign:
         self.hits = 0
         self.misses = 0
 
-    def _key(
+    def path_for(
         self,
         kind: str,
         names: tuple[str, ...],
         config: SystemConfig,
         instructions: int,
-        warmup: int,
+        warmup_instructions: int,
         seed: int,
     ) -> Path:
-        digest = hashlib.sha256(
-            json.dumps(
-                [kind, names, _config_digest(config), instructions, warmup,
-                 seed],
-                sort_keys=True,
-            ).encode()
-        ).hexdigest()[:24]
-        return self.directory / f"{kind}-{'_'.join(names)[:48]}-{digest}.pkl"
+        """Cache file path for one run (shared with ParallelCampaign)."""
+        return self.directory / cache_filename(
+            kind, tuple(names), config, instructions, warmup_instructions,
+            seed,
+        )
 
-    def _load_or_run(self, path: Path, runner) -> SimResult:
-        if path.is_file():
+    def load_cached(self, path: Path) -> SimResult | None:
+        """Return the cached result at ``path``, or ``None`` on a miss.
+
+        Unreadable entries (torn writes from a killed process, stale
+        pickles referencing renamed classes) count as misses: the bad file
+        is removed so the slot can be rewritten cleanly.
+        """
+        if not path.is_file():
+            return None
+        try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
-            if isinstance(result, SimResult):
-                self.hits += 1
-                return result
-        result = runner()
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(result, SimResult):
+            path.unlink(missing_ok=True)
+            return None
+        return result
+
+    def store(self, path: Path, result: SimResult) -> None:
+        """Atomically persist ``result`` at ``path``.
+
+        The pickle is written to a process-unique sibling and moved into
+        place with :func:`os.replace`, so a killed writer can never leave
+        a torn file behind and concurrent writers of the same (identical,
+        deterministic) result cannot interleave.
+        """
         if not isinstance(result, SimResult):
             raise ConfigError("runner must produce a SimResult")
-        with path.open("wb") as handle:
-            pickle.dump(result, handle)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _load_or_run(self, path: Path, runner) -> SimResult:
+        cached = self.load_cached(path)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        result = runner()
+        self.store(path, result)
         self.misses += 1
         return result
 
@@ -109,7 +205,7 @@ class Campaign:
     ) -> SimResult:
         """Cached single-core run (same semantics as sweep.run_workload)."""
         config = config if config is not None else SystemConfig()
-        path = self._key(
+        path = self.path_for(
             "wl", (name,), config, instructions, warmup_instructions, seed
         )
         return self._load_or_run(
@@ -133,7 +229,7 @@ class Campaign:
     ) -> SimResult:
         """Cached multi-core mix run (same semantics as sweep.run_mix)."""
         config = config if config is not None else SystemConfig()
-        path = self._key(
+        path = self.path_for(
             "mix", tuple(names), config, instructions, warmup_instructions,
             seed,
         )

@@ -7,6 +7,7 @@ uses; every figure script is "build config grid -> run_workload / run_mix
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import replace
 
 from repro.sim.config import SystemConfig
@@ -14,11 +15,25 @@ from repro.sim.metrics import SimResult
 from repro.sim.system import System
 from repro.trace.workloads import Workload, workload as lookup_workload
 
-__all__ = ["run_workload", "run_mix", "alone_ipcs"]
+__all__ = ["run_workload", "run_mix", "alone_ipcs", "derive_trace_seed"]
 
 
 def _resolve(w: "Workload | str") -> Workload:
     return lookup_workload(w) if isinstance(w, str) else w
+
+
+def derive_trace_seed(seed: int, core: int) -> int:
+    """Per-core trace seed for multiprogrammed runs.
+
+    Hash-derived so that distinct ``(seed, core)`` pairs can never collide
+    (the historical ``seed * 16 + core`` scheme aliased e.g. ``(0, 16)``
+    with ``(1, 0)``), and process-stable (no salted ``hash()``) so cache
+    keys and parallel workers agree with serial runs.
+    """
+    payload = f"{seed}:{core}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big"
+    )
 
 
 def run_workload(
@@ -46,7 +61,8 @@ def run_mix(
     config = config if config is not None else SystemConfig()
     config = replace(config, cores=len(mix))
     traces = [
-        _resolve(w).trace(seed * 16 + i) for i, w in enumerate(mix)
+        _resolve(w).trace(derive_trace_seed(seed, i))
+        for i, w in enumerate(mix)
     ]
     system = System(config, traces)
     return system.run(instructions, warmup_instructions)
@@ -67,7 +83,7 @@ def alone_ipcs(
             config=config,
             instructions=instructions,
             warmup_instructions=warmup_instructions,
-            seed=seed * 16 + i,
+            seed=derive_trace_seed(seed, i),
         )
         results.append(result.ipc)
     return results

@@ -1,0 +1,179 @@
+"""Tests for ParallelCampaign: cache parity with Campaign, journaling."""
+
+import os
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig
+from repro.errors import ConfigError
+from repro.exec import (
+    ParallelCampaign,
+    RunJournal,
+    TaskSpec,
+    read_journal,
+)
+from repro.sim import Campaign
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+MIX_RUN = dict(instructions=1_500, warmup_instructions=400)
+
+
+def _specs():
+    return [
+        TaskSpec.workload("libq", SystemConfig(), **RUN),
+        TaskSpec.workload(
+            "h264-dec", SystemConfig(mechanism="crow-cache"), **RUN
+        ),
+        TaskSpec.mix(["libq", "bzip2"], SystemConfig(cores=2), **MIX_RUN),
+    ]
+
+
+def _fail_until_marker(spec):
+    """Injected fault: the marked task fails its first attempt."""
+    marker = Path(os.environ["REPRO_TEST_MARKER"])
+    if spec.kind == "wl" and spec.names[0] == "libq" and not marker.exists():
+        marker.touch()
+        raise RuntimeError("injected worker fault")
+    return spec.run()
+
+
+def _always_fail(spec):
+    raise RuntimeError("unrecoverable")
+
+
+class TestSerialParallelParity:
+    def test_parallel_matches_serial_campaign_exactly(self, tmp_path):
+        """jobs=4 must produce the same cache keys and identical results
+        as the serial Campaign (the acceptance criterion; dataclass
+        equality is field-complete, covering every metric)."""
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        campaign = Campaign(serial_dir)
+        serial_results = [
+            campaign.run_workload("libq", SystemConfig(), **RUN),
+            campaign.run_workload(
+                "h264-dec", SystemConfig(mechanism="crow-cache"), **RUN
+            ),
+            campaign.run_mix(
+                ["libq", "bzip2"], SystemConfig(cores=2), **MIX_RUN
+            ),
+        ]
+        parallel = ParallelCampaign(parallel_dir, jobs=4, retries=0)
+        parallel_results = parallel.results(_specs())
+
+        # Same cache keys on disk...
+        assert sorted(p.name for p in serial_dir.glob("*.pkl")) == \
+            sorted(p.name for p in parallel_dir.glob("*.pkl"))
+        # ...same metrics in memory...
+        for s, p in zip(serial_results, parallel_results):
+            assert s == p
+        # ...and either cache deserializes to the other's values.
+        for name in (p.name for p in serial_dir.glob("*.pkl")):
+            a = pickle.loads((serial_dir / name).read_bytes())
+            b = pickle.loads((parallel_dir / name).read_bytes())
+            assert a == b
+
+    def test_parallel_reads_serial_cache(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        parallel = ParallelCampaign(tmp_path, jobs=2)
+        outcomes = parallel.run([_specs()[0]])
+        assert outcomes[0].cached
+        assert parallel.hits == 1 and parallel.misses == 0
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        specs = _specs()
+        first = ParallelCampaign(tmp_path, jobs=2)
+        first.run(specs)
+        assert first.misses == len(specs)
+        second = ParallelCampaign(tmp_path, jobs=2)
+        outcomes = second.run(specs)
+        assert all(o.cached for o in outcomes)
+        assert second.hits == len(specs) and second.misses == 0
+
+
+class TestFaultTolerance:
+    def test_injected_fault_is_retried_and_journaled(
+        self, tmp_path, monkeypatch
+    ):
+        """A worker that dies mid-campaign is retried and the campaign
+        still completes every other task."""
+        monkeypatch.setenv(
+            "REPRO_TEST_MARKER", str(tmp_path / "fault-injected")
+        )
+        journal = tmp_path / "journal.jsonl"
+        campaign = ParallelCampaign(
+            tmp_path / "cache", jobs=2, retries=1, backoff_s=0.01,
+            journal=journal,
+        )
+        outcomes = campaign.run(_specs(), _fn=_fail_until_marker)
+        campaign.close()
+        assert all(o.ok for o in outcomes)
+        faulted = next(
+            o for o in outcomes
+            if o.spec.kind == "wl" and o.spec.names[0] == "libq"
+        )
+        assert faulted.attempts == 2
+
+        events = read_journal(journal)
+        names = [e["event"] for e in events]
+        assert names[0] == "campaign_start" and names[-1] == "campaign_end"
+        assert "task_retry" in names
+        retry = next(e for e in events if e["event"] == "task_retry")
+        assert "injected worker fault" in retry["error"]
+        summary = events[-1]
+        assert summary["done"] == 3 and summary["failed"] == 0
+
+    def test_exhausted_task_does_not_abort_campaign(self, tmp_path):
+        campaign = ParallelCampaign(
+            tmp_path, jobs=2, retries=1, backoff_s=0.01
+        )
+        specs = _specs()
+        outcomes = campaign.run(
+            specs,
+            _fn=lambda s: (_always_fail(s)
+                           if s.kind == "wl" and s.names[0] == "libq"
+                           else s.run()),
+        )
+        assert [o.ok for o in outcomes] == [False, True, True]
+        # Failed tasks never poison the cache.
+        rerun = ParallelCampaign(tmp_path, jobs=1)
+        rerun_outcomes = rerun.run([specs[0]])
+        assert not rerun_outcomes[0].cached
+        assert rerun_outcomes[0].ok
+
+    def test_results_raises_listing_failures(self, tmp_path):
+        campaign = ParallelCampaign(tmp_path, jobs=1, retries=0)
+        with pytest.raises(ConfigError, match="failed after retries"):
+            campaign.results([_specs()[0]], _fn=_always_fail)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("task_start", task="wl:libq", attempt=1)
+            journal.record("task_done", task="wl:libq", duration_s=1.25)
+        events = read_journal(path)
+        assert [e["event"] for e in events] == ["task_start", "task_done"]
+        assert events[1]["duration_s"] == 1.25
+        assert all("t" in e for e in events)
+
+    def test_append_only_across_sessions(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("campaign_start", total=1)
+        with RunJournal(path) as journal:
+            journal.record("campaign_start", total=2)
+        events = read_journal(path)
+        assert [e["total"] for e in events] == [1, 2]
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("task_done", task="a")
+        with path.open("a") as handle:
+            handle.write('{"event": "task_do')  # killed mid-write
+        events = read_journal(path)
+        assert len(events) == 1

@@ -1,11 +1,14 @@
 """Tests for the disk-cached experiment campaign runner."""
 
 import dataclasses
+import json
+import os
 
 import pytest
 
 from repro import SystemConfig
 from repro.sim import Campaign
+from repro.sim.campaign import _jsonable, config_digest
 from repro.errors import ConfigError
 
 RUN = dict(instructions=3_000, warmup_instructions=1_000)
@@ -88,3 +91,102 @@ class TestCaching:
             changed = dataclasses.replace(base, **{field: value})
             digests.add(_config_digest(changed))
         assert len(digests) == len(variations) + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class _Knobs:
+    depth: int
+    weights: tuple
+    table: dict
+
+
+class _Slotted:
+    """No __dict__, no custom __repr__: nothing stable to key on."""
+
+    __slots__ = ()
+
+
+class _Plain:
+    def __init__(self, gain):
+        self.gain = gain
+
+
+class TestJsonable:
+    def test_dataclass_dict_tuple_projection_is_stable(self):
+        a = _Knobs(depth=2, weights=(0.5, 1.0), table={"b": 2, "a": 1})
+        b = _Knobs(depth=2, weights=(0.5, 1.0), table={"a": 1, "b": 2})
+        assert _jsonable(a) == _jsonable(b)
+        assert json.dumps(_jsonable(a), sort_keys=True) == \
+            json.dumps(_jsonable(b), sort_keys=True)
+        assert _jsonable(a)["weights"] == [0.5, 1.0]
+
+    def test_plain_objects_keyed_by_class_and_attrs(self):
+        assert _jsonable(_Plain(3)) == _jsonable(_Plain(3))
+        assert _jsonable(_Plain(3)) != _jsonable(_Plain(4))
+        assert _jsonable(_Plain(3))["__class__"] == "_Plain"
+
+    def test_identityless_value_raises_instead_of_poisoning_the_key(self):
+        """default object.__repr__ embeds a memory address: two digests of
+        the same logical config would differ between runs. Reject it."""
+        with pytest.raises(ConfigError, match="no\\s+stable representation"):
+            _jsonable(_Slotted())
+
+    def test_config_digest_is_identity_free(self):
+        assert config_digest(SystemConfig()) == config_digest(SystemConfig())
+
+
+class TestCacheRobustness:
+    def _path(self, campaign):
+        return campaign.path_for("wl", ("libq",), SystemConfig(), 3_000,
+                                 1_000, 0)
+
+    def test_corrupt_entry_is_a_miss_and_gets_repaired(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        path = self._path(campaign)
+        path.write_bytes(b"torn-pickle-from-a-killed-writer")
+        result = campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert campaign.misses == 1 and campaign.hits == 0
+        assert result.ipc > 0
+        # The slot was rewritten cleanly: the next read is a hit.
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert campaign.hits == 1
+
+    def test_wrong_type_entry_is_a_miss(self, tmp_path):
+        import pickle
+
+        campaign = Campaign(tmp_path)
+        path = self._path(campaign)
+        path.write_bytes(pickle.dumps({"not": "a SimResult"}))
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert campaign.misses == 1
+
+    def test_store_is_atomic_via_replace(self, tmp_path, monkeypatch):
+        replaced = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            replaced.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        campaign = Campaign(tmp_path)
+        campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert len(replaced) == 1
+        src, dst = replaced[0]
+        assert src.endswith(".tmp") and dst.endswith(".pkl")
+        # No temporary droppings survive the write.
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_interrupted_write_leaves_no_entry(self, tmp_path, monkeypatch):
+        """A writer killed before the rename must leave the cache slot
+        empty (a miss), never a torn pickle."""
+        campaign = Campaign(tmp_path)
+
+        def die(src, dst):
+            raise KeyboardInterrupt("killed mid-store")
+
+        monkeypatch.setattr(os, "replace", die)
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run_workload("libq", SystemConfig(), **RUN)
+        assert not list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob("*.tmp"))

@@ -55,3 +55,57 @@ class TestCommands:
         ])
         assert code == 0
         assert "IPC (sum)" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "libq", "--mechanisms", "magic"]
+            )
+
+    def test_serial_campaign(self, capsys, tmp_path):
+        code = main([
+            "campaign", "libq", "--jobs", "1",
+            "--instructions", "2000", "--warmup", "500",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wl:libq@baseline#0" in out
+        assert "wl:libq@crow-cache#0" in out
+        assert "failed=0" in out
+        assert list(tmp_path.glob("*.pkl"))  # results were cached
+
+    def test_parallel_campaign_with_journal(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        code = main([
+            "campaign", "libq", "h264-dec", "--jobs", "2",
+            "--mechanisms", "baseline",
+            "--instructions", "2000", "--warmup", "500",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "done=2 failed=0" in out
+
+        from repro.exec import read_journal
+
+        events = [e["event"] for e in read_journal(journal)]
+        assert events[0] == "campaign_start"
+        assert events[-1] == "campaign_end"
+        assert events.count("task_done") == 2
+
+    def test_campaign_reuses_cache(self, capsys, tmp_path):
+        argv = [
+            "campaign", "libq", "--jobs", "1", "--mechanisms", "baseline",
+            "--instructions", "2000", "--warmup", "500",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "cache hits=1" in out
