@@ -15,11 +15,15 @@ figure scripts' simulations out over N worker processes via
 :mod:`repro.exec` (``1``, the default, runs serially in-process). Set
 ``REPRO_BENCH_CACHE=<dir>`` to reuse a persistent result cache across
 benchmark invocations, and ``REPRO_BENCH_JOURNAL=<file>`` to append a
-JSONL execution journal.
+JSONL execution journal. ``REPRO_BENCH_TELEMETRY=1`` turns on the
+telemetry registry for every swept task (per-task digests land in the
+journal; note telemetry is part of the cache key, so telemetry-on and
+telemetry-off sweeps cache separately).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 import tempfile
@@ -28,6 +32,7 @@ from pathlib import Path
 __all__ = [
     "SCALE",
     "JOBS",
+    "TELEMETRY",
     "INSTRUCTIONS",
     "WARMUP",
     "MIX_INSTRUCTIONS",
@@ -42,6 +47,9 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 #: Worker processes for figure sweeps (1 = serial, no subprocesses).
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+
+#: Collect telemetry for every swept task (0/1).
+TELEMETRY = os.environ.get("REPRO_BENCH_TELEMETRY", "") not in ("", "0")
 
 #: Single-core measured / warm-up instruction counts.
 INSTRUCTIONS = int(40_000 * SCALE)
@@ -74,6 +82,13 @@ def sweep(tasks, jobs: "int | None" = None) -> list:
     results can never leak into a sweep unless explicitly requested).
     """
     tasks = list(tasks)
+    if TELEMETRY:
+        tasks = [
+            dataclasses.replace(
+                task, config=dataclasses.replace(task.config, telemetry=True)
+            )
+            for task in tasks
+        ]
     jobs = JOBS if jobs is None else jobs
     cache_dir = os.environ.get("REPRO_BENCH_CACHE")
     if jobs <= 1 and cache_dir is None:

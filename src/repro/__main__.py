@@ -4,6 +4,9 @@ Subcommands:
 
 * ``run`` — simulate one workload (or a mix) under a mechanism and print
   the headline metrics, optionally against a baseline run.
+* ``stats`` — run with telemetry enabled and print the observability
+  report: queue/latency/hit-rate stats, percentiles, an epoch time-series
+  figure; optionally export the registry JSON and a command trace JSONL.
 * ``campaign`` — sweep workloads × mechanisms on a parallel, cached,
   fault-tolerant worker pool (``repro.exec``) and print a result table.
 * ``workloads`` — list the named workload suite.
@@ -66,6 +69,122 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ratio_text(ratio: dict) -> str:
+    """Render a telemetry Ratio export ('-' for the undefined case)."""
+    value = ratio.get("value")
+    return "-" if value is None else f"{value:.4f}"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import ascii_timeseries
+
+    names = args.workload
+    trace_capacity = args.trace_capacity if args.trace else 0
+    config = SystemConfig(
+        cores=len(names),
+        mechanism=args.mechanism,
+        density_gbit=args.density,
+        prefetcher=args.prefetcher,
+        seed=args.seed,
+        telemetry=True,
+        telemetry_epoch_cycles=args.epoch,
+        telemetry_trace_capacity=trace_capacity,
+    )
+    run_kwargs = dict(
+        instructions=args.instructions, warmup_instructions=args.warmup
+    )
+    if len(names) == 1:
+        result = run_workload(names[0], config, **run_kwargs)
+    else:
+        result = run_mix(names, config, **run_kwargs)
+    export = result.telemetry
+    assert export is not None
+
+    channels = export["controller"]
+
+    def total(key: str) -> int:
+        return sum(ch[key]["value"] for ch in channels.values())
+
+    table = TextTable(
+        f"telemetry: {'+'.join(names)} under {args.mechanism} "
+        f"(digest {result.telemetry_digest()})",
+        ["stat", "value"],
+    )
+    table.add_row("IPC", result.ipc if len(names) == 1 else result.ipc_sum)
+    table.add_row("memory cycles", export["meta"]["cycles"])
+    table.add_row("reads served", total("reads_served"))
+    table.add_row("writes served", total("writes_served"))
+    table.add_row("write drains", total("write_drains"))
+    table.add_row("refreshes", total("refreshes"))
+    hits = total("row_hits")
+    accesses = hits + total("row_misses") + total("row_conflicts")
+    table.add_row(
+        "row-buffer hit rate", f"{hits / accesses:.4f}" if accesses else "-"
+    )
+    # Channel 0 carries the percentile summary (single-channel config).
+    latency = channels["ch0"]["read_latency"]
+    for key in ("mean", "p50", "p95", "p99"):
+        value = latency[key]
+        table.add_row(
+            f"read latency {key}",
+            "-" if value is None else f"{value:.1f}",
+        )
+    if "crow" in export:
+        crow = export["crow"]
+        if "hit_rate" in crow:
+            table.add_row("CROW hit rate", _ratio_text(crow["hit_rate"]))
+            table.add_row(
+                "CROW restore fraction (Sec 8.1.1)",
+                _ratio_text(crow["restore_fraction"]),
+            )
+            table.add_row("CROW evictions", crow["evictions"]["value"])
+        if "ref_remapped_rows" in crow:
+            table.add_row("CROW-ref remapped rows",
+                          crow["ref_remapped_rows"]["value"])
+    table.add_row("LLC miss rate", _ratio_text(export["llc"]["miss_rate"]))
+    print(table.render())
+
+    series = export["epochs"].get(args.series)
+    if series is None:
+        known = ", ".join(sorted(export["epochs"]))
+        print(f"unknown epoch series {args.series!r}; one of: {known}",
+              file=sys.stderr)
+        return 2
+    print()
+    samples = series["samples"]
+    if any(s is not None for s in samples):
+        print(
+            ascii_timeseries(
+                samples,
+                title=(
+                    f"{args.series} per epoch "
+                    f"({series['epoch_cycles']} memory cycles each)"
+                ),
+            )
+        )
+    else:
+        print(
+            f"no complete epochs to plot ({len(samples)} sampled); "
+            f"the measured run is shorter than --epoch "
+            f"({series['epoch_cycles']} memory cycles) -- lower it"
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(export, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"\nregistry export written to {args.json}")
+    if args.trace:
+        events = export.get("trace", {}).get("events", [])
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        print(f"command trace ({len(events)} events) written to {args.trace}")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -82,6 +201,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cores=len(args.workload) if args.mix else 1,
             mechanism=mechanism,
             density_gbit=args.density,
+            telemetry=args.telemetry,
         )
         if args.mix:
             tasks.append(TaskSpec.mix(args.workload, config, **run_kwargs))
@@ -217,6 +337,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the baseline comparison run")
     run.set_defaults(func=_cmd_run)
 
+    stats = sub.add_parser(
+        "stats",
+        help="run with telemetry and print the observability report",
+    )
+    stats.add_argument("workload", nargs="+", choices=sorted(WORKLOADS),
+                       metavar="workload")
+    stats.add_argument("--mechanism", default="crow-cache",
+                       choices=MECHANISMS)
+    stats.add_argument("--instructions", type=int, default=40_000)
+    stats.add_argument("--warmup", type=int, default=15_000)
+    stats.add_argument("--density", type=int, default=8,
+                       choices=(8, 16, 32, 64))
+    stats.add_argument("--prefetcher", action="store_true")
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument(
+        "--epoch", type=int, default=10_000, metavar="CYCLES",
+        help="epoch length of the time series, in memory cycles",
+    )
+    stats.add_argument(
+        "--series", default="ipc", metavar="NAME",
+        help="epoch series to plot (ipc, row_hit_rate, read_latency, "
+             "crow_hit_rate, read_queue, write_queue, mshr)",
+    )
+    stats.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the full registry export as JSON to FILE",
+    )
+    stats.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a command trace and write it as JSONL to FILE",
+    )
+    stats.add_argument(
+        "--trace-capacity", type=int, default=4096, metavar="N",
+        help="trace ring-buffer capacity (default: 4096 commands)",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
     camp = sub.add_parser(
         "campaign",
         help="run a workloads x mechanisms sweep on a parallel worker pool",
@@ -252,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result cache (default: fresh temp dir)",
+    )
+    camp.add_argument(
+        "--telemetry", action="store_true",
+        help="collect telemetry per task (digests appear in the journal)",
     )
     camp.add_argument("--instructions", type=int, default=40_000)
     camp.add_argument("--warmup", type=int, default=15_000)

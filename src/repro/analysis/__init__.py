@@ -8,7 +8,7 @@ ASCII bar series for terminal-friendly "figures".
 
 from repro.analysis.tables import TextTable, format_table
 from repro.analysis.stats import geometric_mean, normalize, summarize_speedups
-from repro.analysis.series import ascii_bars
+from repro.analysis.series import ascii_bars, ascii_timeseries
 
 __all__ = [
     "TextTable",
@@ -17,4 +17,5 @@ __all__ = [
     "normalize",
     "summarize_speedups",
     "ascii_bars",
+    "ascii_timeseries",
 ]

@@ -112,7 +112,12 @@ class ChannelController:
             "restore_activations": 0,
             "refreshes": 0,
             "read_latency_sum": 0,
+            "write_drains": 0,
         }
+        #: Optional telemetry hook: a ``Histogram`` observing read
+        #: latencies (set by :class:`repro.telemetry.SystemTelemetry`;
+        #: ``None`` — the default — costs one branch per completion).
+        self.latency_hist = None
 
     # ------------------------------------------------------------------
     # Request admission
@@ -139,6 +144,8 @@ class ChannelController:
         else:
             self.write_q.append(request)
             if len(self.write_q) >= self.config.write_drain_high:
+                if not self.drain_mode:
+                    self.stats["write_drains"] += 1
                 self.drain_mode = True
         self.bank_pending[request.location.bank] += 1
         return True
@@ -356,7 +363,10 @@ class ChannelController:
     def _complete(self, request: MemRequest, finish: int) -> None:
         request.completed_at = finish
         if request.type is RequestType.READ:
-            self.stats["read_latency_sum"] += finish - request.arrival
+            latency = finish - request.arrival
+            self.stats["read_latency_sum"] += latency
+            if self.latency_hist is not None:
+                self.latency_hist.observe(latency)
         if request.callback is None:
             return
         if self.schedule_event is None:
@@ -429,14 +439,28 @@ class ChannelController:
     # ------------------------------------------------------------------
     @property
     def average_read_latency(self) -> float:
-        """Mean arrival-to-data latency of served reads."""
+        """Mean arrival-to-data latency of served reads.
+
+        **Defined for the empty case**: returns ``0.0`` (never raises)
+        when no reads — demand or forwarded — were served yet, e.g. on a
+        freshly-built controller or a write-only phase. Telemetry exports
+        the same quantity as a ``Ratio`` whose value is ``None`` when
+        undefined; this property keeps the plain-float contract for
+        arithmetic consumers.
+        """
         served = self.stats["reads_served"] + self.stats["forwarded_reads"]
         if not served:
             return 0.0
         return self.stats["read_latency_sum"] / served
 
     def row_hit_rate(self) -> float:
-        """Column accesses served from open rows, as a fraction."""
+        """Column accesses served from open rows, as a fraction.
+
+        **Defined for the empty case**: returns ``0.0`` (never divides)
+        when no activation or column command has been issued yet. The
+        telemetry ``Ratio`` form distinguishes "no traffic" (``None``)
+        from "all misses" (``0.0``) for consumers that care.
+        """
         hits = self.stats["row_hits"]
         total = hits + self.stats["row_misses"] + self.stats["row_conflicts"]
         return hits / total if total else 0.0

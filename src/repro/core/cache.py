@@ -71,6 +71,7 @@ class CrowCache(Mechanism):
         self.uncached = 0
         self.restores = 0
         self.evictions = 0
+        self.partial_restores = 0
 
     # ------------------------------------------------------------------
     # Timing selection
@@ -210,6 +211,8 @@ class CrowCache(Mechanism):
             and entry.regular_row == regular.index
         ):
             entry.is_fully_restored = result.fully_restored
+            if not result.fully_restored:
+                self.partial_restores += 1
 
     def on_refresh(self, refreshed_rows: range, now: int) -> None:
         """Refresh fully restores the covered rows (and, with them, the
@@ -248,6 +251,7 @@ class CrowCache(Mechanism):
         self.uncached = 0
         self.restores = 0
         self.evictions = 0
+        self.partial_restores = 0
 
     def stats(self) -> dict[str, float]:
         """Mechanism-specific statistics for the metrics layer."""
@@ -257,6 +261,7 @@ class CrowCache(Mechanism):
             "crow_uncached": self.uncached,
             "crow_restores": self.restores,
             "crow_evictions": self.evictions,
+            "crow_partial_restores": self.partial_restores,
             "crow_hit_rate": self.hit_rate(),
             "crow_restore_fraction": self.restore_fraction(),
         }

@@ -55,6 +55,8 @@ class CrowRef(Mechanism):
         self.pending_remaps: set[tuple[int, int]] = set()
         self.remap_failures = 0
         self.fallback_subarrays = 0
+        #: Runtime (VRT) remaps completed via ACT-c (Section 4.2.3).
+        self.dynamic_remaps = 0
         self._profile()
 
     # ------------------------------------------------------------------
@@ -156,6 +158,7 @@ class CrowRef(Mechanism):
         )
         self.remap[(bank, bank_row)] = copy
         self.pending_remaps.discard((bank, bank_row))
+        self.dynamic_remaps += 1
 
     def on_precharge(self, bank: int, result, now: int) -> None:
         """Mechanism hook: a precharge closed ``result.rows``."""
@@ -191,4 +194,5 @@ class CrowRef(Mechanism):
             "ref_fallback_subarrays": float(self.fallback_subarrays),
             "ref_achieved_window_ms": self.achieved_refresh_window_ms,
             "ref_remap_failures": float(self.remap_failures),
+            "ref_dynamic_remaps": float(self.dynamic_remaps),
         }

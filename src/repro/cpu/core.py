@@ -99,6 +99,9 @@ class Core:
 
         self.retired = 0
         self.next_wake = 0
+        #: Issue attempts rejected because every MSHR was in flight
+        #: (telemetry: memory-level-parallelism pressure).
+        self.mshr_stalls = 0
         # Measurement bookkeeping (warm-up support).
         self.measure_start_cycle: int | None = None
         self.measure_start_retired = 0
@@ -114,6 +117,7 @@ class Core:
         self.measure_start_retired = self.retired
         self.target_instructions = target_instructions
         self.finish_cycle = None
+        self.mshr_stalls = 0
 
     @property
     def measured_instructions(self) -> int:
@@ -237,6 +241,7 @@ class Core:
         Only misses occupy an MSHR.
         """
         if self.outstanding >= self.config.mshrs:
+            self.mshr_stalls += 1
             return "stall"
         counts_mshr = [False]
         if record.is_write:

@@ -92,6 +92,9 @@ class DramChannel:
         self.busy_reads = 0
         #: Optional command-stream recorder (repro.validation).
         self.recorder = None
+        #: Optional telemetry ring buffer (repro.telemetry.EventTrace);
+        #: ``None`` — the default — costs one branch per issued command.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Bank access helpers
@@ -241,6 +244,8 @@ class DramChannel:
         self.cmd_bus_free = now + bus_cycles
         if self.recorder is not None:
             self.recorder.record(now, command)
+        if self.trace is not None:
+            self.trace.record_command(now, command)
         return result
 
     def _advance_refresh_cursor(self) -> range:

@@ -2,8 +2,9 @@
 
 Every noteworthy event in a campaign — task launched, finished, failed,
 retried, served from cache — is appended as one JSON object per line.
-The format is append-only and flushed per event, so a journal survives a
-crashed or killed campaign and tells you exactly how far it got; it is
+The format is append-only and durable per event — each record is flushed
+*and fsynced*, so a journal survives not just a killed campaign process
+but a host power loss, and tells you exactly how far the run got; it is
 also the machine-readable record later tooling (dashboards, flaky-task
 triage) consumes.
 """
@@ -11,6 +12,7 @@ triage) consumes.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -23,16 +25,22 @@ class RunJournal:
     Usable both as an engine observer (it exposes the ``(event, fields)``
     callable protocol the runner emits to) and directly via
     :meth:`record`. Event payloads must be JSON-serializable.
+
+    :param fsync: fsync after every record (the default). Campaign events
+        are rare relative to simulation work, so the per-record fsync is
+        noise in the profile but makes each line durable the moment
+        :meth:`record` returns; pass ``False`` for throwaway journals.
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(self, path: "str | Path", fsync: bool = True) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("a", encoding="utf-8")
+        self._fsync = fsync
         self._origin = time.monotonic()
 
     def record(self, event: str, **fields) -> None:
-        """Append one event line and flush it to disk."""
+        """Append one event line; durable on disk when this returns."""
         entry = {
             "event": event,
             "t": round(time.monotonic() - self._origin, 6),
@@ -40,6 +48,8 @@ class RunJournal:
         }
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
 
     def __call__(self, event: str, fields: dict) -> None:
         self.record(event, **fields)

@@ -85,6 +85,38 @@ class ParallelCampaign:
         for observer in self.observers:
             observer(event, dict(fields))
 
+    def _emit_telemetry(self, spec: TaskSpec, result, cached: bool) -> None:
+        """Journal a per-task telemetry summary (digest + headline)."""
+        export = getattr(result, "telemetry", None)
+        if export is None:
+            return
+        fields: dict = {
+            "task": spec.label,
+            "digest": spec.digest(),
+            "telemetry_digest": result.telemetry_digest(),
+            "cached": cached,
+        }
+        channels = export.get("controller", {})
+        if channels:
+            hits = sum(c["row_hits"]["value"] for c in channels.values())
+            accesses = hits + sum(
+                c["row_misses"]["value"] + c["row_conflicts"]["value"]
+                for c in channels.values()
+            )
+            fields["reads_served"] = sum(
+                c["reads_served"]["value"] for c in channels.values()
+            )
+            fields["row_hit_rate"] = (
+                round(hits / accesses, 6) if accesses else None
+            )
+        crow = export.get("crow", {})
+        if "hit_rate" in crow:
+            fields["crow_hit_rate"] = crow["hit_rate"]["value"]
+            fields["crow_restore_fraction"] = (
+                crow["restore_fraction"]["value"]
+            )
+        self._emit("task_telemetry", **fields)
+
     # -- execution -------------------------------------------------------
 
     def run(self, specs, _fn=execute_task) -> "list[TaskOutcome]":
@@ -113,6 +145,7 @@ class ParallelCampaign:
                     "cache_hit", task=spec.label, digest=spec.digest(),
                     index=index,
                 )
+                self._emit_telemetry(spec, cached, cached=True)
             else:
                 misses.append((index, spec))
 
@@ -127,6 +160,7 @@ class ParallelCampaign:
                         )
                     self.campaign.store(self._path(spec), outcome.result)
                     self.campaign.misses += 1
+                    self._emit_telemetry(spec, outcome.result, cached=False)
 
         done = sum(1 for o in outcomes if o is not None and o.ok)
         failed = len(specs) - done

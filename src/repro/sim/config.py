@@ -66,6 +66,15 @@ class SystemConfig:
     prefetch_degree: int = 2
     core: CoreConfig = field(default_factory=CoreConfig)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
+    # --- telemetry -------------------------------------------------------
+    #: Collect hierarchical stats, epoch time series and (optionally) a
+    #: command trace; the export rides on ``SimResult.telemetry``.
+    #: Zero-cost when False: no registry is built and no hook fires.
+    telemetry: bool = False
+    #: Epoch length of the telemetry time series, in memory ticks.
+    telemetry_epoch_cycles: int = 10_000
+    #: Command-trace ring-buffer capacity (0 disables tracing).
+    telemetry_trace_capacity: int = 0
     # --- misc ------------------------------------------------------------
     functional_cells: bool = False
     #: Attach a repro.validation.CommandRecorder to every channel, so the
@@ -82,6 +91,10 @@ class SystemConfig:
             )
         if self.copy_rows < 0:
             raise ConfigError("copy_rows must be non-negative")
+        if self.telemetry_epoch_cycles < 1:
+            raise ConfigError("telemetry_epoch_cycles must be >= 1")
+        if self.telemetry_trace_capacity < 0:
+            raise ConfigError("telemetry_trace_capacity must be >= 0")
 
     def resolved_geometry(self) -> DramGeometry:
         """Geometry with the mechanism's structural knobs applied."""

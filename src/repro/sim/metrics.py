@@ -26,6 +26,9 @@ class SimResult:
     mechanism_stats: dict[str, float] = field(default_factory=dict)
     controller_stats: dict[str, int] = field(default_factory=dict)
     refresh_window_ms: float = 64.0
+    #: Full telemetry-registry export (``SystemConfig(telemetry=True)``
+    #: runs only); a plain deterministic dict — see :mod:`repro.telemetry`.
+    telemetry: "dict | None" = None
 
     @property
     def ipc(self) -> float:
@@ -59,6 +62,18 @@ class SimResult:
         if self.energy is None or baseline.energy is None:
             raise ConfigError("both results need energy accounting")
         return self.energy.total_nj / baseline.energy.total_nj
+
+    def telemetry_digest(self) -> "str | None":
+        """Content digest of the telemetry export (None when disabled).
+
+        Deterministic: identical (config, seed) runs produce identical
+        digests, which is how journals fingerprint a task's telemetry.
+        """
+        if self.telemetry is None:
+            return None
+        from repro.telemetry import export_digest
+
+        return export_digest(self.telemetry)
 
 
 def weighted_speedup(shared_ipcs: list[float], alone_ipcs: list[float]) -> float:

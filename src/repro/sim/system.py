@@ -322,6 +322,15 @@ class System:
         self.energy_model = EnergyModel(
             self.timing, IddCurrents.lpddr4(config.density_gbit)
         )
+        self.telemetry = None
+        if config.telemetry:
+            from repro.telemetry import SystemTelemetry
+
+            self.telemetry = SystemTelemetry(
+                self,
+                epoch_cycles=config.telemetry_epoch_cycles,
+                trace_capacity=config.telemetry_trace_capacity,
+            )
         self._measure_start: int | None = None
         self.now = 0
 
@@ -534,6 +543,10 @@ class System:
             mechanism.reset_stats()
         for prefetcher in self.prefetchers:
             prefetcher.reset_stats()
+        if self.telemetry is not None:
+            # After the raw counters are zeroed, so epoch deltas and the
+            # end-of-run harvest both cover exactly the measured region.
+            self.telemetry.begin(self.now)
 
     # ------------------------------------------------------------------
     # Result assembly
@@ -578,6 +591,11 @@ class System:
             mechanism_stats=mechanism_stats,
             controller_stats=controller_stats,
             refresh_window_ms=self.timing.refresh_window_ms,
+            telemetry=(
+                self.telemetry.finalize(end, cycles)
+                if self.telemetry is not None
+                else None
+            ),
         )
 
 

@@ -1,0 +1,50 @@
+"""Observability subsystem: hierarchical stats, epoch series, tracing.
+
+Every headline number in the paper's evaluation is an *internal*
+statistic — CROW-table hit rate (Fig 8), the evicted-row full-restore
+fraction (Section 8.1.1), row-buffer state residency feeding the energy
+model (Fig 10). This package makes those first-class:
+
+* :class:`StatRegistry` — a gem5/Ramulator-style tree of typed stats
+  (:class:`Counter`, :class:`Gauge`, :class:`Ratio`, :class:`Histogram`
+  with log buckets and p50/p95/p99, :class:`EpochSeries` sampled per
+  epoch of memory ticks), exporting to plain deterministic dicts;
+* :class:`EventTrace` — a bounded ring buffer of command-level events
+  (tick, command, bank, row, mechanism decision) with JSONL export;
+* :class:`SystemTelemetry` — the collector that instruments a
+  :class:`~repro.sim.system.System`: live latency histograms and command
+  traces, per-epoch sampling on the event heap, and an end-of-run
+  harvest of every raw counter in the stack.
+
+Telemetry is **opt-in and zero-cost when disabled**: enable it with
+``SystemConfig(telemetry=True)`` and read ``SimResult.telemetry``, or use
+``python -m repro stats`` from the command line. Exports contain no
+wall-clock values, so identical (config, seed) runs produce
+byte-identical payloads — :func:`export_digest` fingerprints them.
+"""
+
+from repro.telemetry.collect import SystemTelemetry
+from repro.telemetry.stats import (
+    Counter,
+    EpochSeries,
+    Gauge,
+    Histogram,
+    Ratio,
+    StatGroup,
+    StatRegistry,
+    export_digest,
+)
+from repro.telemetry.trace import EventTrace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Ratio",
+    "Histogram",
+    "EpochSeries",
+    "StatGroup",
+    "StatRegistry",
+    "EventTrace",
+    "SystemTelemetry",
+    "export_digest",
+]

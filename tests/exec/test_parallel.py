@@ -177,3 +177,76 @@ class TestJournal:
             handle.write('{"event": "task_do')  # killed mid-write
         events = read_journal(path)
         assert len(events) == 1
+
+    def test_record_is_durable_before_close(self, tmp_path, monkeypatch):
+        # Each record must be fsynced the moment record() returns — a
+        # reader (or a post-crash recovery) sees it without close().
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.record("task_start", task="a")
+        assert synced, "record() did not fsync"
+        assert read_journal(path) == [
+            {"event": "task_start", "t": read_journal(path)[0]["t"],
+             "task": "a"}
+        ]
+        journal.close()
+
+    def test_fsync_can_be_disabled(self, tmp_path, monkeypatch):
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        with RunJournal(tmp_path / "j.jsonl", fsync=False) as journal:
+            journal.record("task_start", task="a")
+        assert not synced
+
+
+class TestTaskTelemetryEvents:
+    def test_run_and_cache_hit_emit_matching_digests(self, tmp_path):
+        from repro.sim.config import SystemConfig
+
+        spec = TaskSpec.workload(
+            "libq",
+            SystemConfig(mechanism="crow-cache", telemetry=True),
+            instructions=2_000, warmup_instructions=500,
+        )
+        journal_path = tmp_path / "j.jsonl"
+
+        with ParallelCampaign(
+            tmp_path / "cache", jobs=1, journal=journal_path
+        ) as campaign:
+            campaign.run([spec])
+        with ParallelCampaign(
+            tmp_path / "cache", jobs=1, journal=journal_path
+        ) as campaign:
+            campaign.run([spec])
+
+        events = [e for e in read_journal(journal_path)
+                  if e["event"] == "task_telemetry"]
+        assert len(events) == 2
+        ran, hit = events
+        assert ran["cached"] is False and hit["cached"] is True
+        assert ran["telemetry_digest"] == hit["telemetry_digest"]
+        assert ran["digest"] == spec.digest()
+
+    def test_no_event_without_telemetry(self, tmp_path):
+        spec = TaskSpec.workload(
+            "libq", instructions=2_000, warmup_instructions=500
+        )
+        journal_path = tmp_path / "j.jsonl"
+        with ParallelCampaign(
+            tmp_path / "cache", jobs=1, journal=journal_path
+        ) as campaign:
+            campaign.run([spec])
+        events = [e["event"] for e in read_journal(journal_path)]
+        assert "task_telemetry" not in events

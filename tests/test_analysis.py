@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.analysis import (
     TextTable,
     ascii_bars,
+    ascii_timeseries,
     format_table,
     geometric_mean,
     normalize,
@@ -95,3 +96,65 @@ class TestAsciiBars:
     def test_empty_rejected(self):
         with pytest.raises(ConfigError):
             ascii_bars({})
+
+    def test_bar_lengths_scale_with_values(self):
+        chart = ascii_bars({"big": 4.0, "small": 1.0}, width=40)
+        big, small = chart.splitlines()
+        assert big.count("#") == 40
+        assert small.count("#") == 10
+
+    def test_zero_values_draw_minimum_bar(self):
+        chart = ascii_bars({"a": 0.0, "b": 0.0})
+        for line in chart.splitlines():
+            assert line.count("#") == 1
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_bars({"a": float("nan"), "b": 1.0})
+        with pytest.raises(ConfigError):
+            ascii_bars({"a": float("inf")})
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_bars({"a": 1.0}, width=4)
+
+
+class TestAsciiTimeseries:
+    def test_basic_render(self):
+        chart = ascii_timeseries([0.1, 0.5, 1.0, 0.5], title="ipc")
+        assert chart.startswith("ipc")
+        assert "#" in chart
+        assert "epoch 0..3 (4 samples)" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_timeseries([])
+
+    def test_all_gaps_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_timeseries([None, float("nan"), None])
+
+    def test_gaps_render_as_blank_columns(self):
+        chart = ascii_timeseries([1.0, None, 1.0], width=10, height=3)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines()
+                if "|" in line]
+        # The middle column is blank in every grid row.
+        assert all(row[1] == " " for row in rows)
+        assert all(row[0] == "#" for row in rows)
+
+    def test_non_finite_samples_become_gaps(self):
+        chart = ascii_timeseries([1.0, float("inf"), 2.0])
+        assert "3 samples" in chart
+
+    def test_downsamples_long_series(self):
+        values = [float(i % 7) for i in range(1000)]
+        chart = ascii_timeseries(values, width=20, height=4)
+        grid_rows = [line for line in chart.splitlines() if "|" in line]
+        assert all(len(row.split("|", 1)[1]) <= 20 for row in grid_rows)
+        assert "1000 samples" in chart
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_timeseries([1.0], width=4)
+        with pytest.raises(ConfigError):
+            ascii_timeseries([1.0], height=1)

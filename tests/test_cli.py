@@ -57,6 +57,56 @@ class TestCommands:
         assert "IPC (sum)" in capsys.readouterr().out
 
 
+class TestStatsCommand:
+    def test_headline_and_figure(self, capsys):
+        code = main([
+            "stats", "mcf", "--instructions", "5000", "--warmup", "1000",
+            "--epoch", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row-buffer hit rate" in out
+        assert "read latency p50" in out
+        assert "read latency p95" in out
+        assert "CROW hit rate" in out
+        assert "ipc per epoch" in out
+        assert "#" in out  # the ASCII figure rendered
+
+    def test_json_and_trace_export(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "telemetry.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "stats", "mcf", "--instructions", "5000", "--warmup", "1000",
+            "--epoch", "500", "--json", str(json_path),
+            "--trace", str(trace_path), "--trace-capacity", "64",
+        ])
+        assert code == 0
+        export = json.loads(json_path.read_text())
+        assert "controller" in export and "epochs" in export
+        lines = trace_path.read_text().splitlines()
+        assert 0 < len(lines) <= 64
+        event = json.loads(lines[0])
+        assert {"tick", "cmd", "bank"} <= set(event)
+
+    def test_alternate_series(self, capsys):
+        code = main([
+            "stats", "mcf", "--instructions", "4000", "--warmup", "1000",
+            "--epoch", "500", "--series", "read_latency",
+        ])
+        assert code == 0
+        assert "read_latency per epoch" in capsys.readouterr().out
+
+    def test_unknown_series_rejected(self, capsys):
+        code = main([
+            "stats", "libq", "--instructions", "2000", "--warmup", "500",
+            "--series", "bogus",
+        ])
+        assert code == 2
+        assert "unknown epoch series" in capsys.readouterr().err
+
+
 class TestCampaignCommand:
     def test_rejects_unknown_mechanism(self):
         with pytest.raises(SystemExit):
@@ -96,6 +146,44 @@ class TestCampaignCommand:
         assert events[0] == "campaign_start"
         assert events[-1] == "campaign_end"
         assert events.count("task_done") == 2
+
+    def test_campaign_telemetry_journal(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        code = main([
+            "campaign", "libq", "--jobs", "1",
+            "--mechanisms", "crow-cache", "--telemetry",
+            "--instructions", "2000", "--warmup", "500",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.exec import read_journal
+
+        events = [e for e in read_journal(journal)
+                  if e["event"] == "task_telemetry"]
+        assert len(events) == 1
+        entry = events[0]
+        assert entry["cached"] is False
+        assert len(entry["telemetry_digest"]) == 16
+        assert entry["reads_served"] > 0
+        assert "crow_hit_rate" in entry
+
+        # A cache-hit rerun journals the identical telemetry digest.
+        assert main([
+            "campaign", "libq", "--jobs", "1",
+            "--mechanisms", "crow-cache", "--telemetry",
+            "--instructions", "2000", "--warmup", "500",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        events = [e for e in read_journal(journal)
+                  if e["event"] == "task_telemetry"]
+        assert len(events) == 2
+        assert events[1]["cached"] is True
+        assert events[1]["telemetry_digest"] == entry["telemetry_digest"]
 
     def test_campaign_reuses_cache(self, capsys, tmp_path):
         argv = [
