@@ -314,6 +314,17 @@ def _cmd_overheads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import compare, load_results, run_suite, write_results
+
+    doc = run_suite(repeat=args.repeat, progress=print)
+    write_results(doc, args.output)
+    print(f"wrote {args.output} (composite {doc['composite']:.4f})")
+    if args.compare is None:
+        return 0
+    return compare(doc, load_results(args.compare), threshold=args.threshold)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -431,6 +442,29 @@ def build_parser() -> argparse.ArgumentParser:
     ov = sub.add_parser("overheads", help="print substrate cost model")
     ov.add_argument("--copy-rows", type=int, default=8)
     ov.set_defaults(func=_cmd_overheads)
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the performance microbenchmark suite / regression gate",
+    )
+    perf.add_argument(
+        "--output", default="BENCH_perf.json", metavar="FILE",
+        help="where to write the byte-stable results JSON",
+    )
+    perf.add_argument(
+        "--repeat", type=int, default=2, metavar="N",
+        help="timed runs per case; wall time is the best-of-N (default: 2)",
+    )
+    perf.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a baseline JSON; exit 3 on composite "
+             "regression, 4 on telemetry-digest mismatch",
+    )
+    perf.add_argument(
+        "--threshold", type=float, default=0.15, metavar="FRACTION",
+        help="allowed composite drop vs the baseline (default: 0.15)",
+    )
+    perf.set_defaults(func=_cmd_perf)
     return parser
 
 

@@ -101,6 +101,18 @@ class ChannelController:
                 self.config.row_timeout_ns, self.timing.clock_mhz
             )
 
+        # Memoized command objects: PRE and REF are fully determined by
+        # (bank, subarray), and Command is immutable, so the scheduler can
+        # reuse one instance instead of re-validating a frozen dataclass
+        # on every readiness evaluation (a top cost in profile runs).
+        self._salp = channel.salp
+        self._pre_cmds = tuple(
+            Command(CommandKind.PRE, bank=b)
+            for b in range(self.geometry.banks_per_channel)
+        )
+        self._salp_pre_cmds: dict[tuple[int, int], Command] = {}
+        self._ref_cmd = Command(CommandKind.REF)
+
         # Statistics.
         self.stats = {
             "reads_served": 0,
@@ -196,7 +208,7 @@ class ChannelController:
                 self._issue_pre(pre, now)
                 return now + 1
             return earliest
-        ref = Command(CommandKind.REF)
+        ref = self._ref_cmd
         earliest = self.channel.earliest_issue(ref)
         if earliest > now:
             return earliest
@@ -296,20 +308,20 @@ class ChannelController:
         srow = self.mechanism.service_row(bank, request.location.row)
         open_rows = self._open_rows(bank, srow)
         if open_rows is not None and srow in open_rows:
-            kind = (
+            subarray = srow.subarray if self._salp else None
+            cached = request.col_cmd
+            if cached is not None and cached[0] == subarray:
+                return cached[1], None
+            command = Command(
                 CommandKind.RD
                 if request.type is RequestType.READ
-                else CommandKind.WR
+                else CommandKind.WR,
+                bank=bank,
+                col=request.location.col,
+                subarray=subarray,
             )
-            return (
-                Command(
-                    kind,
-                    bank=bank,
-                    col=request.location.col,
-                    subarray=srow.subarray if self.channel.salp else None,
-                ),
-                None,
-            )
+            request.col_cmd = (subarray, command)
+            return command, None
         if open_rows is not None:
             return self._pre_command(bank, srow.subarray), None
         plan = self.mechanism.plan_activation(bank, request.location.row, now)
@@ -413,26 +425,31 @@ class ChannelController:
     # ------------------------------------------------------------------
     def _open_rows(self, bank_index: int, srow: RowId):
         bank = self.channel.banks[bank_index]
-        if self.channel.salp:
+        if self._salp:
             return bank.subarrays[srow.subarray].open_rows
         return bank.open_rows
 
     def _pre_command(self, bank_index: int, subarray: int) -> Command:
-        if self.channel.salp:
-            return Command(CommandKind.PRE, bank=bank_index, subarray=subarray)
-        return Command(CommandKind.PRE, bank=bank_index)
+        if self._salp:
+            key = (bank_index, subarray)
+            command = self._salp_pre_cmds.get(key)
+            if command is None:
+                command = Command(
+                    CommandKind.PRE, bank=bank_index, subarray=subarray
+                )
+                self._salp_pre_cmds[key] = command
+            return command
+        return self._pre_cmds[bank_index]
 
     def _pre_command_for_bank(self, bank_index: int) -> Command:
         """A PRE that closes (one of) the bank's open row buffers."""
         bank = self.channel.banks[bank_index]
-        if self.channel.salp:
+        if self._salp:
             for subarray, slot in bank.subarrays.items():
                 if slot.is_open:
-                    return Command(
-                        CommandKind.PRE, bank=bank_index, subarray=subarray
-                    )
+                    return self._pre_command(bank_index, subarray)
             raise ConfigError("no open subarray to precharge")
-        return Command(CommandKind.PRE, bank=bank_index)
+        return self._pre_cmds[bank_index]
 
     # ------------------------------------------------------------------
     # Metrics helpers

@@ -61,6 +61,11 @@ class Mechanism:
     def __init__(self, geometry, timing: TimingParameters) -> None:
         self.geometry = geometry
         self.timing = timing
+        # row -> RowId memo for the identity mapping (geometry is fixed
+        # per instance). The controller calls service_row several times
+        # per scheduling pass; subclasses with *dynamic* redirection
+        # (CROW-ref and friends) override service_row and skip this memo.
+        self._service_rows: dict[int, RowId] = {}
 
     # ------------------------------------------------------------------
     # Activation planning
@@ -72,7 +77,11 @@ class Mechanism:
         among the bank's open rows. CROW-ref redirects weak rows to their
         copy rows here.
         """
-        return RowId.regular(row, self.geometry.rows_per_subarray)
+        rid = self._service_rows.get(row)
+        if rid is None:
+            rid = RowId.regular(row, self.geometry.rows_per_subarray)
+            self._service_rows[row] = rid
+        return rid
 
     def plan_activation(self, bank: int, row: int, now: int) -> ActivationPlan:
         """Decide how to activate regular row ``row`` of ``bank``."""

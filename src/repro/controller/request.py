@@ -34,6 +34,7 @@ class MemRequest:
         "is_prefetch",
         "issued_at",
         "completed_at",
+        "col_cmd",
     )
 
     def __init__(
@@ -55,6 +56,10 @@ class MemRequest:
         self.is_prefetch = is_prefetch
         self.issued_at: int | None = None
         self.completed_at: int | None = None
+        #: Controller-owned memo: ``(subarray, Command)`` for this
+        #: request's column access (the command is invariant per serving
+        #: subarray, so the scheduler builds it once).
+        self.col_cmd: "tuple | None" = None
 
     @property
     def latency(self) -> int | None:

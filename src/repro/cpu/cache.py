@@ -40,24 +40,33 @@ class CacheConfig:
 
 
 class Llc:
-    """Set-associative write-back LLC shared by all cores."""
+    """Set-associative write-back LLC shared by all cores.
+
+    Each set is a dict mapping tag -> [dirty, prefetched], exploiting
+    insertion order for LRU: the most recently used tag sits at the end,
+    the victim is the first key. Every hot operation (probe, LRU bump,
+    victim pick) is a C-level dict operation instead of a Python list
+    scan, with the exact same hit/miss/eviction sequence as an MRU list.
+    """
 
     def __init__(self, config: CacheConfig | None = None) -> None:
         self.config = config if config is not None else CacheConfig()
-        # Per set: list of [tag, dirty, prefetched] with MRU at index 0.
-        self._sets: list[list[list]] = [[] for _ in range(self.config.sets)]
+        # Per set: {tag: [dirty, prefetched]}, LRU first / MRU last.
+        self._sets: list[dict[int, list]] = [
+            {} for _ in range(self.config.sets)
+        ]
         self._offset_bits = self.config.line_bytes.bit_length() - 1
         self._index_mask = self.config.sets - 1
+        self._index_bits = self._index_mask.bit_length()
+        self._ways = self.config.ways
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
         self.prefetch_fills = 0
 
-    def _locate(self, address: int) -> tuple[list[list], int]:
+    def _locate(self, address: int) -> tuple[dict[int, list], int]:
         line = address >> self._offset_bits
-        return self._sets[line & self._index_mask], line >> (
-            self._index_mask.bit_length()
-        )
+        return self._sets[line & self._index_mask], line >> self._index_bits
 
     def access(
         self, address: int, is_write: bool
@@ -69,49 +78,82 @@ class Llc:
         ``was_prefetched`` reports whether a hit consumed a prefetched
         line for the first time (prefetcher usefulness accounting).
         """
-        entries, tag = self._locate(address)
-        for position, entry in enumerate(entries):
-            if entry[0] == tag:
-                if position:
-                    entries.insert(0, entries.pop(position))
-                if is_write:
-                    entries[0][1] = True
-                was_prefetched = entries[0][2]
-                entries[0][2] = False
-                self.hits += 1
-                return True, None, was_prefetched
+        line = address >> self._offset_bits
+        entries = self._sets[line & self._index_mask]
+        tag = line >> self._index_bits
+        entry = entries.get(tag)
+        if entry is not None:
+            # Bump to MRU (dict end); insertion order is the LRU stack.
+            del entries[tag]
+            entries[tag] = entry
+            if is_write:
+                entry[0] = True
+            was_prefetched = entry[1]
+            entry[1] = False
+            self.hits += 1
+            return True, None, was_prefetched
         self.misses += 1
-        return False, self._fill(address, dirty=is_write), False
+        # Miss fill, inlined (the second set/tag decode _fill would redo
+        # is the hottest redundant work in warm-up-heavy runs).
+        writeback = None
+        if len(entries) >= self._ways:
+            victim_tag = next(iter(entries))
+            if entries.pop(victim_tag)[0]:
+                self.writebacks += 1
+                victim_line = (victim_tag << self._index_bits) | (
+                    line & self._index_mask
+                )
+                writeback = victim_line << self._offset_bits
+        entries[tag] = [is_write, False]
+        return False, writeback, False
+
+    def warm(self, address: int, is_write: bool) -> None:
+        """Functional-warming access: identical state transitions to
+        :meth:`access`, minus statistics and writeback reporting (warm-up
+        callers reset statistics afterwards and drop the writeback).
+        """
+        line = address >> self._offset_bits
+        entries = self._sets[line & self._index_mask]
+        tag = line >> self._index_bits
+        entry = entries.get(tag)
+        if entry is not None:
+            del entries[tag]
+            entries[tag] = entry
+            if is_write:
+                entry[0] = True
+            entry[1] = False
+            return
+        if len(entries) >= self._ways:
+            del entries[next(iter(entries))]
+        entries[tag] = [is_write, False]
 
     def fill_prefetch(self, address: int) -> int | None:
         """Install a prefetched line (clean); returns any writeback."""
         entries, tag = self._locate(address)
-        for entry in entries:
-            if entry[0] == tag:
-                return None
+        if tag in entries:
+            return None
         self.prefetch_fills += 1
         return self._fill(address, dirty=False, prefetched=True)
 
     def contains(self, address: int) -> bool:
         """Whether the line holding ``address`` is resident."""
         entries, tag = self._locate(address)
-        return any(entry[0] == tag for entry in entries)
+        return tag in entries
 
     def _fill(
         self, address: int, dirty: bool, prefetched: bool = False
     ) -> int | None:
         entries, tag = self._locate(address)
         writeback = None
-        if len(entries) >= self.config.ways:
-            victim_tag, victim_dirty, _ = entries.pop()
+        if len(entries) >= self._ways:
+            victim_tag = next(iter(entries))
+            victim_dirty = entries.pop(victim_tag)[0]
             if victim_dirty:
                 self.writebacks += 1
                 set_index = (address >> self._offset_bits) & self._index_mask
-                victim_line = (
-                    victim_tag << self._index_mask.bit_length()
-                ) | set_index
+                victim_line = (victim_tag << self._index_bits) | set_index
                 writeback = victim_line << self._offset_bits
-        entries.insert(0, [tag, dirty, prefetched])
+        entries[tag] = [dirty, prefetched]
         return writeback
 
     # ------------------------------------------------------------------

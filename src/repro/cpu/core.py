@@ -16,6 +16,7 @@ which is exact because no memory activity is in flight.
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Iterator, NamedTuple
 
 from repro.errors import ConfigError
@@ -77,6 +78,27 @@ class _MemOp:
 class Core:
     """One trace-driven core; ``port`` is the system's memory port."""
 
+    __slots__ = (
+        "core_id",
+        "trace",
+        "port",
+        "config",
+        "_slots",
+        "_window",
+        "_occupancy",
+        "_bubbles_left",
+        "_pending",
+        "_trace_done",
+        "outstanding",
+        "retired",
+        "next_wake",
+        "mshr_stalls",
+        "measure_start_cycle",
+        "measure_start_retired",
+        "target_instructions",
+        "finish_cycle",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -90,7 +112,7 @@ class Core:
         self.config = config if config is not None else CoreConfig()
         self._slots = self.config.slots_per_tick
 
-        self._window: list = []          # deque semantics; small, list is fine
+        self._window: deque = deque()    # _MemOp | [bubble_count] entries
         self._occupancy = 0
         self._bubbles_left = 0
         self._pending: TraceRecord | None = None
@@ -173,7 +195,7 @@ class Core:
             if isinstance(head, _MemOp):
                 if not head.done:
                     break
-                window.pop(0)
+                window.popleft()
                 self._occupancy -= 1
                 budget -= 1
                 self.retired += 1
@@ -184,7 +206,7 @@ class Core:
                 self._occupancy -= take
                 self.retired += take
                 if head[0] == 0:
-                    window.pop(0)
+                    window.popleft()
         progress += slots - budget
 
         # Issue into the window.

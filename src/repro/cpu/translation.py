@@ -13,9 +13,19 @@ import numpy as np
 
 from repro.errors import CapacityError, ConfigError
 
-__all__ = ["VirtualMemory"]
+__all__ = ["VirtualMemory", "PAGE_BYTES", "PAGE_SHIFT", "ASID_SHIFT"]
 
 PAGE_BYTES = 4096
+PAGE_SHIFT = 12
+PAGE_MASK = PAGE_BYTES - 1
+#: Address-space id field offset in the integer page-table key; virtual
+#: page numbers stay below this for any realistic trace footprint.
+#: Public so bulk consumers (System.prewarm) can probe the page table
+#: inline instead of paying a call per record.
+ASID_SHIFT = 52
+_PAGE_SHIFT = PAGE_SHIFT
+_PAGE_MASK = PAGE_MASK
+_ASID_SHIFT = ASID_SHIFT
 
 
 class VirtualMemory:
@@ -25,19 +35,20 @@ class VirtualMemory:
         if capacity_bytes < PAGE_BYTES:
             raise ConfigError("capacity must hold at least one page")
         self.total_frames = capacity_bytes // PAGE_BYTES
-        self._page_table: dict[tuple[int, int], int] = {}
+        # Keyed by (asid << _ASID_SHIFT) | vpage: a flat int key keeps the
+        # hot translate() path free of per-call tuple allocation.
+        self._page_table: dict[int, int] = {}
         self._used_frames: set[int] = set()
         self._rng = np.random.default_rng(seed)
 
     def translate(self, asid: int, vaddr: int) -> int:
         """Translate a virtual address in address space ``asid``."""
-        vpage = vaddr // PAGE_BYTES
-        key = (asid, vpage)
+        key = (asid << _ASID_SHIFT) | (vaddr >> _PAGE_SHIFT)
         frame = self._page_table.get(key)
         if frame is None:
             frame = self._allocate_frame()
             self._page_table[key] = frame
-        return frame * PAGE_BYTES + (vaddr % PAGE_BYTES)
+        return (frame << _PAGE_SHIFT) | (vaddr & _PAGE_MASK)
 
     def _allocate_frame(self) -> int:
         if len(self._used_frames) >= self.total_frames:
@@ -47,6 +58,15 @@ class VirtualMemory:
             if frame not in self._used_frames:
                 self._used_frames.add(frame)
                 return frame
+
+    @property
+    def page_table(self) -> dict[int, int]:
+        """The live ``(asid << ASID_SHIFT) | vpage -> frame`` mapping.
+
+        Read-only view for bulk translation fast paths; mappings are
+        created exclusively through :meth:`translate`.
+        """
+        return self._page_table
 
     @property
     def mapped_pages(self) -> int:

@@ -50,6 +50,7 @@ class BankState:
         "last_wr_time",
         "wrote_with_reduced_twr",
         "open_cycles_total",
+        "_wr_recovery_base",
     )
 
     def __init__(self, timing: TimingParameters) -> None:
@@ -62,6 +63,10 @@ class BankState:
         self.last_wr_time = _FAR_PAST
         self.wrote_with_reduced_twr = False
         self.open_cycles_total = 0
+        # Fixed part of the write-recovery window (tCWL + tBL), resolved
+        # once: earliest_pre()/fully_restored_if_precharged_at() add only
+        # the activation's tWR on top.
+        self._wr_recovery_base = timing.tcwl + timing.tbl
 
     # ------------------------------------------------------------------
     # State queries
@@ -90,8 +95,7 @@ class BankState:
         if self.last_wr_time > self.act_time:
             wr_full_done = (
                 self.last_wr_time
-                + self.timing.tcwl
-                + self.timing.tbl
+                + self._wr_recovery_base
                 + self.act_timings.effective_twr_full
             )
             if now < wr_full_done:
@@ -132,10 +136,7 @@ class BankState:
         if self.last_wr_time != _FAR_PAST and self.last_wr_time > self.act_time:
             earliest = max(
                 earliest,
-                self.last_wr_time
-                + self.timing.tcwl
-                + self.timing.tbl
-                + self.act_timings.twr,
+                self.last_wr_time + self._wr_recovery_base + self.act_timings.twr,
             )
         return earliest
 

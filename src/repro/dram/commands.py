@@ -139,15 +139,7 @@ class Command:
     subarray: int | None = None
 
     def __post_init__(self) -> None:
-        expected_rows = {
-            CommandKind.ACT: 1,
-            CommandKind.ACT_C: 2,
-            CommandKind.ACT_T: 2,
-            CommandKind.RD: 0,
-            CommandKind.WR: 0,
-            CommandKind.PRE: 0,
-            CommandKind.REF: 0,
-        }[self.kind]
+        expected_rows = _EXPECTED_ROWS[self.kind]
         if len(self.rows) != expected_rows:
             raise ConfigError(
                 f"{self.kind.name} requires {expected_rows} row(s), "
@@ -164,3 +156,17 @@ class Command:
                     f"{self.kind.name} rows must share a subarray "
                     f"(got {source.subarray} and {dest.subarray})"
                 )
+
+
+#: Row-operand count per command kind (validation table, hoisted out of
+#: ``Command.__post_init__`` — rebuilding it per construction dominated
+#: command-issue cost in profile runs).
+_EXPECTED_ROWS = {
+    CommandKind.ACT: 1,
+    CommandKind.ACT_C: 2,
+    CommandKind.ACT_T: 2,
+    CommandKind.RD: 0,
+    CommandKind.WR: 0,
+    CommandKind.PRE: 0,
+    CommandKind.REF: 0,
+}

@@ -31,6 +31,12 @@ __all__ = ["DramChannel", "IssueResult"]
 
 _FAR_PAST = -(10**9)
 
+#: Hot-path membership test for the three activation kinds (avoids the
+#: ``CommandKind.is_activation`` property call per command evaluation).
+_ACTIVATION_KINDS = frozenset(
+    (CommandKind.ACT, CommandKind.ACT_C, CommandKind.ACT_T)
+)
+
 
 class IssueResult:
     """What the controller learns from issuing one command."""
@@ -79,6 +85,16 @@ class DramChannel:
             tras_early=timing.tras,
             twr=timing.twr,
         )
+        # Precomputed timing-constraint table: every cross-command spacing
+        # that earliest_issue()/issue() needs is a sum of fixed timing
+        # parameters, so it is resolved once here per (command, state)
+        # transition instead of being re-added on every evaluation.
+        self._rd_after_rd = timing.tccd
+        self._rd_after_wr = timing.tcwl + timing.tbl + timing.twtr
+        self._wr_after_wr = timing.tccd
+        self._wr_after_rd = timing.tcl + timing.tbl + 2 - timing.tcwl
+        self._rd_data_delay = timing.tcl + timing.tbl
+        self._wr_done_delay = timing.tcwl + timing.tbl
         # Channel/rank-scope state.
         self.cmd_bus_free = 0
         self.act_history: deque[int] = deque(maxlen=4)
@@ -90,11 +106,37 @@ class DramChannel:
         # Statistics (consumed by the energy model and the metrics layer).
         self.counts = {kind: 0 for kind in CommandKind}
         self.busy_reads = 0
-        #: Optional command-stream recorder (repro.validation).
-        self.recorder = None
-        #: Optional telemetry ring buffer (repro.telemetry.EventTrace);
-        #: ``None`` — the default — costs one branch per issued command.
-        self.trace = None
+        #: Optional command-stream recorder (repro.validation) and
+        #: telemetry ring buffer (repro.telemetry.EventTrace).
+        #: Attach both observers via plain assignment; the issue path
+        #: checks one combined ``_observed`` flag (the None-guards are
+        #: hoisted out of the per-command hot loop into the setters).
+        self._recorder = None
+        self._trace = None
+        self._observed = False
+
+    # ------------------------------------------------------------------
+    # Observer hooks (telemetry / validation)
+    # ------------------------------------------------------------------
+    @property
+    def recorder(self):
+        """Optional :class:`repro.validation.CommandRecorder`."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        self._recorder = value
+        self._observed = self._recorder is not None or self._trace is not None
+
+    @property
+    def trace(self):
+        """Optional :class:`repro.telemetry.EventTrace` ring buffer."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, value) -> None:
+        self._trace = value
+        self._observed = self._recorder is not None or self._trace is not None
 
     # ------------------------------------------------------------------
     # Bank access helpers
@@ -133,7 +175,7 @@ class DramChannel:
         timing = self.timing
         earliest = max(self.cmd_bus_free, self.ref_busy_until)
         kind = command.kind
-        if kind.is_activation:
+        if kind in _ACTIVATION_KINDS:
             slot = self._bank_slot(command)
             earliest = max(earliest, slot.earliest_act())
             if self.last_act_time != _FAR_PAST:
@@ -144,20 +186,18 @@ class DramChannel:
             slot = self._bank_slot(command)
             earliest = max(earliest, slot.earliest_col())
             if self.last_rd_issue != _FAR_PAST:
-                earliest = max(earliest, self.last_rd_issue + timing.tccd)
+                earliest = max(earliest, self.last_rd_issue + self._rd_after_rd)
             if self.last_wr_issue != _FAR_PAST:
                 earliest = max(
-                    earliest,
-                    self.last_wr_issue + timing.tcwl + timing.tbl + timing.twtr,
+                    earliest, self.last_wr_issue + self._rd_after_wr
                 )
         elif kind is CommandKind.WR:
             slot = self._bank_slot(command)
             earliest = max(earliest, slot.earliest_col())
             if self.last_wr_issue != _FAR_PAST:
-                earliest = max(earliest, self.last_wr_issue + timing.tccd)
+                earliest = max(earliest, self.last_wr_issue + self._wr_after_wr)
             if self.last_rd_issue != _FAR_PAST:
-                turnaround = timing.tcl + timing.tbl + 2 - timing.tcwl
-                earliest = max(earliest, self.last_rd_issue + turnaround)
+                earliest = max(earliest, self.last_rd_issue + self._wr_after_rd)
         elif kind is CommandKind.PRE:
             slot = self._bank_slot(command)
             earliest = max(earliest, slot.earliest_pre(honor_full_tras))
@@ -192,7 +232,7 @@ class DramChannel:
         kind = command.kind
         result = IssueResult()
 
-        if kind.is_activation:
+        if kind in _ACTIVATION_KINDS:
             slot = self._bank_slot(command)
             timings = command.timings or self._base_act_timings
             # The functional layer checks data integrity *before* the bank
@@ -210,14 +250,14 @@ class DramChannel:
             slot = self._bank_slot(command)
             slot.issue_rd(now)
             self.last_rd_issue = now
-            result.data_at = now + timing.tcl + timing.tbl
+            result.data_at = now + self._rd_data_delay
             if self.cell_array is not None:
                 self.cell_array.on_read(command, now)
         elif kind is CommandKind.WR:
             slot = self._bank_slot(command)
             slot.issue_wr(now)
             self.last_wr_issue = now
-            result.done_at = now + timing.tcwl + timing.tbl
+            result.done_at = now + self._wr_done_delay
             if self.cell_array is not None:
                 self.cell_array.on_write(command, now)
         elif kind is CommandKind.PRE:
@@ -242,10 +282,11 @@ class DramChannel:
         # CROW commands carry an extra copy-row address cycle (footnote 3).
         bus_cycles = 2 if kind in (CommandKind.ACT_C, CommandKind.ACT_T) else 1
         self.cmd_bus_free = now + bus_cycles
-        if self.recorder is not None:
-            self.recorder.record(now, command)
-        if self.trace is not None:
-            self.trace.record_command(now, command)
+        if self._observed:
+            if self._recorder is not None:
+                self._recorder.record(now, command)
+            if self._trace is not None:
+                self._trace.record_command(now, command)
         return result
 
     def _advance_refresh_cursor(self) -> range:

@@ -1,0 +1,37 @@
+"""Performance microbenchmark suite + regression gate (internals §8).
+
+``python -m repro perf`` runs a fixed deterministic workload matrix,
+writes a byte-stable ``BENCH_perf.json``, and — with ``--compare`` —
+gates CI on the machine-normalized composite score and on the telemetry
+digests (the correctness oracle for hot-path optimizations).
+"""
+
+from repro.perf.calibrate import spin_score_mops
+from repro.perf.compare import (
+    DEFAULT_THRESHOLD,
+    EXIT_DIGEST_MISMATCH,
+    EXIT_REGRESSION,
+    compare,
+    load_results,
+)
+from repro.perf.suite import (
+    CASES,
+    PerfCase,
+    run_suite,
+    serialize,
+    write_results,
+)
+
+__all__ = [
+    "CASES",
+    "DEFAULT_THRESHOLD",
+    "EXIT_DIGEST_MISMATCH",
+    "EXIT_REGRESSION",
+    "PerfCase",
+    "compare",
+    "load_results",
+    "run_suite",
+    "serialize",
+    "spin_score_mops",
+    "write_results",
+]

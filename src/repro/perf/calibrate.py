@@ -1,0 +1,55 @@
+"""Machine-speed calibration for cross-machine perf comparison.
+
+Benchmark numbers measured on two machines (or two CI runners) are not
+directly comparable: the same simulator revision can be 3x faster on a
+desktop than on a loaded CI container. The suite therefore reports every
+throughput *normalized* by a calibrated spin-loop score — pure-Python
+integer work whose speed tracks the interpreter + host combination the
+simulator itself runs on. Normalized scores are stable across machines to
+within measurement noise, so a committed baseline from one machine can
+gate regressions on another.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SPIN_ITERATIONS", "spin_score_mops"]
+
+#: Iterations of the calibration loop (about 100 ms of work per pass on a
+#: typical 2020s x86 core).
+SPIN_ITERATIONS = 2_000_000
+
+
+def _spin(iterations: int) -> int:
+    """The calibration kernel: branchy integer arithmetic + a dict probe.
+
+    Mirrors the simulator's instruction mix (small-int math, comparisons,
+    dict lookups) rather than raw arithmetic, so the score moves with the
+    operations the simulator actually spends time on.
+    """
+    table = {i: i * 3 for i in range(64)}
+    acc = 0
+    for i in range(iterations):
+        v = table[i & 63]
+        if v & 8:
+            acc += v
+        else:
+            acc -= i & 15
+    return acc
+
+
+def spin_score_mops(
+    iterations: int = SPIN_ITERATIONS, repeats: int = 3
+) -> float:
+    """Calibrated machine speed in millions of kernel iterations/second.
+
+    Best-of-``repeats`` to shed scheduler noise; the *fastest* pass is the
+    closest estimate of the machine's unloaded speed.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _spin(iterations)
+        best = min(best, time.perf_counter() - start)
+    return iterations / best / 1e6

@@ -1,0 +1,108 @@
+"""Baseline comparison for the perf suite (the CI regression gate).
+
+Exit-code contract (consumed by ``python -m repro perf`` and CI):
+
+* 0 — composite within threshold of the baseline, digests match,
+* 3 — performance regression (composite dropped more than the threshold),
+* 4 — digest mismatch (simulated *behaviour* changed — a correctness
+  problem, reported before and independently of any slowdown).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis import TextTable
+
+__all__ = [
+    "EXIT_DIGEST_MISMATCH",
+    "EXIT_REGRESSION",
+    "DEFAULT_THRESHOLD",
+    "compare",
+    "load_results",
+]
+
+EXIT_REGRESSION = 3
+EXIT_DIGEST_MISMATCH = 4
+
+#: Composite may drop this far below the baseline before the gate fires;
+#: generous because the normalized scores still carry residual host noise.
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema")
+    if schema != "repro-perf/1":
+        raise ValueError(f"unsupported perf results schema: {schema!r}")
+    return doc
+
+
+def compare(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    progress: Any = print,
+) -> int:
+    """Print a delta table and return the exit code."""
+    cur_cases = current["cases"]
+    base_cases = baseline["cases"]
+    shared = [name for name in base_cases if name in cur_cases]
+    for name in base_cases:
+        if name not in cur_cases:
+            progress(f"warning: case {name!r} missing from current run")
+    for name in cur_cases:
+        if name not in base_cases:
+            progress(f"warning: case {name!r} not in baseline (new case?)")
+
+    mismatched = [
+        name
+        for name in shared
+        if cur_cases[name]["digest"] != base_cases[name]["digest"]
+    ]
+
+    table = TextTable(
+        "perf vs baseline",
+        ["case", "base score", "cur score", "ratio", "wall(s)", "digest"],
+    )
+    for name in shared:
+        base, cur = base_cases[name], cur_cases[name]
+        ratio = cur["normalized_score"] / base["normalized_score"]
+        table.add_row(
+            name,
+            f"{base['normalized_score']:.4f}",
+            f"{cur['normalized_score']:.4f}",
+            f"{ratio:.2f}x",
+            f"{cur['wall_seconds']:.2f}",
+            "ok" if cur["digest"] == base["digest"] else "MISMATCH",
+        )
+    composite_ratio = current["composite"] / baseline["composite"]
+    table.add_row(
+        "composite",
+        f"{baseline['composite']:.4f}",
+        f"{current['composite']:.4f}",
+        f"{composite_ratio:.2f}x",
+        "",
+        "",
+    )
+    progress(table.render())
+
+    if mismatched:
+        progress(
+            "DIGEST MISMATCH: simulated behaviour differs from the "
+            f"baseline for: {', '.join(mismatched)}"
+        )
+        return EXIT_DIGEST_MISMATCH
+    if composite_ratio < 1.0 - threshold:
+        progress(
+            f"PERF REGRESSION: composite {composite_ratio:.2f}x of "
+            f"baseline (allowed floor {1.0 - threshold:.2f}x)"
+        )
+        return EXIT_REGRESSION
+    progress(
+        f"perf OK: composite {composite_ratio:.2f}x of baseline "
+        f"(floor {1.0 - threshold:.2f}x)"
+    )
+    return 0

@@ -8,6 +8,7 @@ methodology), and assembles a :class:`~repro.sim.metrics.SimResult`.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Callable, Iterator
 
@@ -36,8 +37,19 @@ __all__ = ["System"]
 IDLE = 1 << 62
 
 
+def _fmt_wake(time: int) -> str:
+    """Render a component wake time for diagnostics (IDLE -> 'idle')."""
+    return "idle" if time >= IDLE else str(time)
+
+
+def _prefetch_disabled(core_id: int, pc: int, vaddr: int, now: int) -> None:
+    """No-op bound over MemoryPort._maybe_prefetch when prefetch is off."""
+
+
 class _EventQueue:
     """Timestamped callback heap (completion events, etc.)."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
@@ -69,6 +81,16 @@ class MemoryPort:
     completion-callback contract.
     """
 
+    __slots__ = (
+        "system",
+        "_outstanding",
+        "demand_misses_per_core",
+        "demand_accesses_per_core",
+        "dropped_writebacks",
+        "_line_mask",
+        "_maybe_prefetch",
+    )
+
     def __init__(self, system: "System") -> None:
         self.system = system
         # line -> [issued_as_prefetch, waiter callbacks...]
@@ -76,6 +98,15 @@ class MemoryPort:
         self.demand_misses_per_core = [0] * system.config.cores
         self.demand_accesses_per_core = [0] * system.config.cores
         self.dropped_writebacks = 0
+        self._line_mask = ~(system.llc.config.line_bytes - 1)
+        # The prefetcher set is fixed at construction: bind the observe
+        # hook to a no-op when disabled so the hit/miss hot path pays one
+        # call, not a per-access emptiness test.
+        self._maybe_prefetch = (
+            self._observe_access
+            if system.prefetchers
+            else _prefetch_disabled
+        )
 
     # ------------------------------------------------------------------
     def access(
@@ -89,9 +120,7 @@ class MemoryPort:
     ) -> str:
         """Serve one core access; returns 'hit', 'miss' or 'stall'."""
         system = self.system
-        line = system.vm.translate(core_id, vaddr) & ~(
-            system.llc.config.line_bytes - 1
-        )
+        line = system.vm.translate(core_id, vaddr) & self._line_mask
         if system.llc.contains(line):
             hit, _, was_prefetched = system.llc.access(line, is_write)
             assert hit
@@ -171,15 +200,13 @@ class MemoryPort:
         else:
             self.dropped_writebacks += 1
 
-    def _maybe_prefetch(self, core_id: int, pc: int, vaddr: int, now: int) -> None:
+    def _observe_access(
+        self, core_id: int, pc: int, vaddr: int, now: int
+    ) -> None:
         system = self.system
-        if not system.prefetchers:
-            return
         prefetcher = system.prefetchers[core_id]
         for target_vaddr in prefetcher.observe(pc, vaddr):
-            line = system.vm.translate(core_id, target_vaddr) & ~(
-                system.llc.config.line_bytes - 1
-            )
+            line = system.vm.translate(core_id, target_vaddr) & self._line_mask
             if system.llc.contains(line) or line in self._outstanding:
                 continue
             controller = system.controller_for(line)
@@ -332,6 +359,10 @@ class System:
                 trace_capacity=config.telemetry_trace_capacity,
             )
         self._measure_start: int | None = None
+        # Flat wake-source tuple for the _step() hot loop: the component
+        # set is fixed after construction, so the per-step candidate list
+        # is replaced by an allocation-free scan over this tuple.
+        self._tickables: tuple = (*self.cores, *self.controllers)
         self.now = 0
 
     # ------------------------------------------------------------------
@@ -454,22 +485,41 @@ class System:
     # Simulation loop
     # ------------------------------------------------------------------
     def _step(self) -> None:
-        candidates = [self.events.next_time()]
-        candidates.extend(core.next_wake for core in self.cores)
-        candidates.extend(ctrl.next_wake for ctrl in self.controllers)
-        t = min(candidates)
+        # Allocation-free min-wake scan. With at most a handful of cores
+        # and controllers, an inline pass over the precomputed tuple beats
+        # both the per-step list build it replaces and a lazily repaired
+        # heap (whose invariant every MemoryPort callback would disturb).
+        t = self.events.next_time()
+        for component in self._tickables:
+            wake = component.next_wake
+            if wake < t:
+                t = wake
         if t >= IDLE:
-            raise ReproError(
-                "simulation deadlock: no component has pending work"
-            )
-        self.now = max(self.now, t)
-        self.events.run_until(self.now)
+            raise ReproError(self._deadlock_message())
+        now = self.now = max(self.now, t)
+        self.events.run_until(now)
         for core in self.cores:
-            if core.next_wake <= self.now:
-                core.next_wake = core.tick(self.now)
+            if core.next_wake <= now:
+                core.next_wake = core.tick(now)
         for controller in self.controllers:
-            if controller.next_wake <= self.now:
-                controller.next_wake = controller.tick(self.now)
+            if controller.next_wake <= now:
+                controller.next_wake = controller.tick(now)
+
+    def _deadlock_message(self) -> str:
+        """Diagnostic for a stuck simulation: every component's wake time."""
+        waits = [f"event-queue={_fmt_wake(self.events.next_time())}"]
+        waits.extend(
+            f"core{core.core_id}={_fmt_wake(core.next_wake)}"
+            for core in self.cores
+        )
+        waits.extend(
+            f"controller{i}={_fmt_wake(ctrl.next_wake)}"
+            for i, ctrl in enumerate(self.controllers)
+        )
+        return (
+            f"simulation deadlock at cycle {self.now}: no component has "
+            f"pending work ({', '.join(waits)})"
+        )
 
     def prewarm(self, accesses_per_core: int) -> None:
         """Functionally warm the LLC (and page table) without timing.
@@ -480,14 +530,59 @@ class System:
         cycle simulator cannot afford to execute in timed mode. The
         records consumed here simply become part of the (untimed) past.
         """
+        from itertools import chain, cycle, islice
+
+        from repro.cpu.translation import ASID_SHIFT, PAGE_MASK, PAGE_SHIFT
+
         line_mask = ~(self.llc.config.line_bytes - 1)
-        for _ in range(accesses_per_core):
-            for core in self.cores:
-                record = next(core.trace, None)
-                if record is None:
-                    continue
-                line = self.vm.translate(core.core_id, record.vaddr) & line_mask
-                self.llc.access(line, record.is_write)
+        translate = self.vm.translate
+        page_table = self.vm.page_table
+        warm = self.llc.warm
+        streams = [
+            (core.core_id, core.core_id << ASID_SHIFT, core.trace)
+            for core in self.cores
+        ]
+        # Records are pulled in chunks (C-level islice into a list) rather
+        # than one next() per access: generator resumption dominates the
+        # scalar loop. The warm() call order — strict round-robin across
+        # cores by access index — is preserved exactly; it determines the
+        # LLC's LRU state and therefore the run's telemetry digest.
+        chunk = 8192
+        remaining = accesses_per_core
+        while remaining:
+            n = min(chunk, remaining)
+            remaining -= n
+            batches = [list(islice(trace, n)) for _, _, trace in streams]
+            if not any(batches):
+                break
+            if len(batches) == 1:
+                pairs = zip(cycle(streams), batches[0])
+            elif all(len(batch) == n for batch in batches):
+                pairs = zip(
+                    cycle(streams), chain.from_iterable(zip(*batches))
+                )
+            else:
+                # Ragged tail: some (finite) trace ran dry mid-chunk. The
+                # scalar order skips exhausted streams and keeps going.
+                pairs = (
+                    (meta, batch[i])
+                    for i in range(n)
+                    for meta, batch in zip(streams, batches)
+                    if i < len(batch)
+                )
+            for (core_id, asid_base, _), record in pairs:
+                vaddr = record[1]    # TraceRecord.vaddr
+                # Inlined page-table hit path (64 lines share a page, so
+                # nearly every probe hits); misses take the allocating
+                # translate() call.
+                frame = page_table.get(asid_base | (vaddr >> PAGE_SHIFT))
+                if frame is None:
+                    line = translate(core_id, vaddr) & line_mask
+                else:
+                    line = (
+                        (frame << PAGE_SHIFT) | (vaddr & PAGE_MASK)
+                    ) & line_mask
+                warm(line, record[2])    # TraceRecord.is_write
         self.llc.reset_stats()
 
     def run(
@@ -507,20 +602,35 @@ class System:
         """
         if instructions < 1 or warmup_instructions < 0:
             raise ConfigError("invalid instruction counts")
-        if prewarm_accesses:
-            self.prewarm(prewarm_accesses)
-        # Phase 1: warm-up.
-        while any(core.retired < warmup_instructions for core in self.cores):
-            self._step()
-            if max_cycles is not None and self.now > max_cycles:
-                raise ReproError("warm-up exceeded max_cycles")
-        self._begin_measurement(instructions)
-        # Phase 2: measurement.
-        while not all(core.done for core in self.cores):
-            self._step()
-            if max_cycles is not None and self.now > max_cycles:
-                raise ReproError("measurement exceeded max_cycles")
-        return self._collect(instructions)
+        # The generational GC costs ~25% of a run: the hot loops allocate
+        # short-lived tuples (trace records, commands, events) fast enough
+        # to trigger a gen-0 collection every few hundred steps, and each
+        # collection also scans the long-lived simulator object graph.
+        # Nothing the simulator allocates per-step forms reference cycles,
+        # so collection is safely deferred until the run completes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if prewarm_accesses:
+                self.prewarm(prewarm_accesses)
+            # Phase 1: warm-up.
+            while any(
+                core.retired < warmup_instructions for core in self.cores
+            ):
+                self._step()
+                if max_cycles is not None and self.now > max_cycles:
+                    raise ReproError("warm-up exceeded max_cycles")
+            self._begin_measurement(instructions)
+            # Phase 2: measurement.
+            while not all(core.done for core in self.cores):
+                self._step()
+                if max_cycles is not None and self.now > max_cycles:
+                    raise ReproError("measurement exceeded max_cycles")
+            return self._collect(instructions)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
     def _begin_measurement(self, instructions: int) -> None:
         self._measure_start = self.now
@@ -607,11 +717,11 @@ class _PeekableLlc(Llc):
         entries, _tag = self._locate(address)
         if len(entries) < self.config.ways:
             return None
-        victim_tag, victim_dirty, _ = entries[-1]
-        if not victim_dirty:
+        victim_tag = next(iter(entries))  # LRU sits first in the set dict
+        if not entries[victim_tag][0]:
             return None
         set_index = (
             address >> self._offset_bits
         ) & self._index_mask
-        victim_line = (victim_tag << self._index_mask.bit_length()) | set_index
+        victim_line = (victim_tag << self._index_bits) | set_index
         return victim_line << self._offset_bits

@@ -261,7 +261,17 @@ class SystemTelemetry:
             for b, bank in enumerate(channel.banks):
                 open_cycles = bank.open_cycles_total
                 if bank.is_open:
-                    open_cycles += end - bank.act_time
+                    slots = getattr(bank, "subarrays", None)
+                    if slots is None:
+                        open_cycles += end - bank.act_time
+                    else:
+                        # SALP banks keep one open epoch per subarray
+                        # row buffer; sum the in-progress ones.
+                        open_cycles += sum(
+                            end - slot.act_time
+                            for slot in slots.values()
+                            if slot.is_open
+                        )
                 bank_group.counter(
                     f"b{b}_open_cycles",
                     "cycles this bank held an open row",

@@ -69,12 +69,16 @@ def streaming_trace(
     position = 0
     pc = 0x400000
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
-        writes = rng.random(_CHUNK) < write_fraction
-        for i in range(_CHUNK):
-            vaddr = base_vaddr + (position % lines) * LINE
-            position += 1
-            yield TraceRecord(int(bubbles[i]), vaddr, bool(writes[i]), pc)
+        # Chunk decode: one .tolist() per array instead of a numpy-scalar
+        # conversion per record; addresses are vectorized (RNG untouched).
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
+        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        vaddrs = (
+            base_vaddr
+            + (np.arange(position, position + _CHUNK) % lines) * LINE
+        ).tolist()
+        position += _CHUNK
+        yield from map(TraceRecord, bubbles, vaddrs, writes, (pc,) * _CHUNK)
 
 
 def random_trace(
@@ -89,15 +93,13 @@ def random_trace(
     rng = np.random.default_rng(seed)
     lines = footprint_bytes // LINE
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
         targets = rng.integers(0, lines, size=_CHUNK)
-        writes = rng.random(_CHUNK) < write_fraction
+        writes = (rng.random(_CHUNK) < write_fraction).tolist()
         pcs = rng.integers(0, 64, size=_CHUNK)
-        for i in range(_CHUNK):
-            vaddr = base_vaddr + int(targets[i]) * LINE
-            yield TraceRecord(
-                int(bubbles[i]), vaddr, bool(writes[i]), 0x500000 + int(pcs[i]) * 4
-            )
+        vaddrs = (base_vaddr + targets * LINE).tolist()
+        pc_list = (0x500000 + pcs * 4).tolist()
+        yield from map(TraceRecord, bubbles, vaddrs, writes, pc_list)
 
 
 def strided_trace(
@@ -116,12 +118,15 @@ def strided_trace(
     position = 0
     pc = 0x600000
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
-        writes = rng.random(_CHUNK) < write_fraction
-        for i in range(_CHUNK):
-            vaddr = base_vaddr + (position * stride_bytes) % footprint_bytes
-            position += 1
-            yield TraceRecord(int(bubbles[i]), vaddr, bool(writes[i]), pc)
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
+        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        vaddrs = (
+            base_vaddr
+            + (np.arange(position, position + _CHUNK) * stride_bytes)
+            % footprint_bytes
+        ).tolist()
+        position += _CHUNK
+        yield from map(TraceRecord, bubbles, vaddrs, writes, (pc,) * _CHUNK)
 
 
 def hotset_trace(
@@ -147,29 +152,29 @@ def hotset_trace(
     hot_lines = hot_bytes // LINE
     all_lines = footprint_bytes // LINE
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
-        hot = rng.random(_CHUNK) < hot_fraction
-        targets = rng.integers(0, 1 << 62, size=_CHUNK)
-        writes = rng.random(_CHUNK) < write_fraction
-        run = rng.integers(2, 8, size=_CHUNK)
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
+        hot = (rng.random(_CHUNK) < hot_fraction).tolist()
+        targets = rng.integers(0, 1 << 62, size=_CHUNK).tolist()
+        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        run = rng.integers(2, 8, size=_CHUNK).tolist()
         i = 0
         while i < _CHUNK:
             if hot[i]:
-                start = int(targets[i]) % hot_lines
-                for offset in range(int(run[i])):
+                start = targets[i] % hot_lines
+                for offset in range(run[i]):
                     line = (start + offset) % hot_lines
                     yield TraceRecord(
-                        int(bubbles[i]),
+                        bubbles[i],
                         base_vaddr + line * LINE,
-                        bool(writes[i]),
+                        writes[i],
                         0x700000,
                     )
             else:
-                line = int(targets[i]) % all_lines
+                line = targets[i] % all_lines
                 yield TraceRecord(
-                    int(bubbles[i]),
+                    bubbles[i],
                     base_vaddr + line * LINE,
-                    bool(writes[i]),
+                    writes[i],
                     0x700100,
                 )
             i += 1
@@ -202,23 +207,47 @@ def multistream_trace(
     region_lines = footprint_bytes // LINE // streams
     if region_lines < 1:
         raise ConfigError("footprint too small for the stream count")
-    positions = [0] * streams
+    positions = np.zeros(streams, dtype=np.int64)
     count = 0
+    index = np.arange(_CHUNK)
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
         picks = rng.integers(0, streams, size=_CHUNK)
-        writes = rng.random(_CHUNK) < write_fraction
-        for i in range(_CHUNK):
-            stream = int(picks[i])
-            line = positions[stream] % region_lines
-            positions[stream] += 1
-            count += 1
-            if restart_period and count % restart_period == 0:
-                positions[int(rng.integers(0, streams))] = 0
-            vaddr = base_vaddr + (stream * region_lines + line) * LINE
-            yield TraceRecord(
-                int(bubbles[i]), vaddr, bool(writes[i]), 0x800000 + stream * 4
-            )
+        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        if restart_period:
+            # Rewinds interleave RNG draws with record emission, so this
+            # path stays scalar to preserve the exact draw order.
+            picks_list = picks.tolist()
+            for i in range(_CHUNK):
+                stream = picks_list[i]
+                line = int(positions[stream]) % region_lines
+                positions[stream] += 1
+                count += 1
+                if count % restart_period == 0:
+                    positions[int(rng.integers(0, streams))] = 0
+                vaddr = base_vaddr + (stream * region_lines + line) * LINE
+                yield TraceRecord(
+                    bubbles[i], vaddr, writes[i], 0x800000 + stream * 4
+                )
+            continue
+        # Vectorized path: record i of stream s reads line
+        # positions[s] + (occurrences of s earlier in the chunk), i.e. a
+        # per-stream cumulative count — computed with a stable argsort.
+        order = np.argsort(picks, kind="stable")
+        sorted_picks = picks[order]
+        boundary = np.empty(_CHUNK, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_picks[1:], sorted_picks[:-1], out=boundary[1:])
+        ranks = index - np.maximum.accumulate(np.where(boundary, index, 0))
+        cumcount = np.empty(_CHUNK, dtype=np.int64)
+        cumcount[order] = ranks
+        lines = (positions[picks] + cumcount) % region_lines
+        positions += np.bincount(picks, minlength=streams)
+        vaddrs = (
+            base_vaddr + (picks * region_lines + lines) * LINE
+        ).tolist()
+        pcs = (0x800000 + picks * 4).tolist()
+        yield from map(TraceRecord, bubbles, vaddrs, writes, pcs)
 
 
 def mixed_trace(

@@ -1,0 +1,46 @@
+"""Bit-exact determinism of full-system runs.
+
+Two invariants, both enforced in the CI matrix across Python versions:
+
+* re-running the same (config, seed) in one process reproduces the exact
+  telemetry digest — the property every hot-path optimization in this
+  repo is verified against;
+* the digests match ``tests/data/expected_digests.json``, committed once
+  and asserted on every interpreter version CI runs, so a NumPy bit-
+  stream change, dict-ordering change, or platform difference shows up
+  as a test failure rather than as silently incomparable results.
+
+If a deliberate behaviour change (new mechanism default, timing fix)
+alters simulated execution, regenerate the JSON file and note why in the
+commit — see docs/internals.md §8.
+"""
+
+import json
+from pathlib import Path
+
+from repro import SystemConfig, run_workload
+
+DATA = Path(__file__).resolve().parent.parent / "data" / "expected_digests.json"
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+
+
+def run_once(mechanism):
+    config = SystemConfig(cores=1, mechanism=mechanism, seed=1, telemetry=True)
+    return run_workload("libq", config, **RUN)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_digests(self):
+        a = run_once("baseline")
+        b = run_once("baseline")
+        assert a.telemetry_digest() == b.telemetry_digest()
+        assert a.cycles == b.cycles
+
+    def test_digests_match_committed_expectations(self):
+        expected = json.loads(DATA.read_text())
+        for mechanism in ("baseline", "crow-cache"):
+            result = run_once(mechanism)
+            want = expected[f"libq-{mechanism}"]
+            assert result.telemetry_digest() == want["digest"], mechanism
+            assert result.cycles == want["cycles"], mechanism

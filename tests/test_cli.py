@@ -20,6 +20,23 @@ class TestParser:
                 ["run", "libq", "--mechanism", "magic"]
             )
 
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.output == "BENCH_perf.json"
+        assert args.repeat == 2
+        assert args.compare is None
+        assert args.threshold == 0.15
+
+    def test_perf_compare_options(self):
+        args = build_parser().parse_args(
+            ["perf", "--compare", "base.json", "--repeat", "3",
+             "--threshold", "0.2", "--output", "out.json"]
+        )
+        assert args.compare == "base.json"
+        assert args.repeat == 3
+        assert args.threshold == 0.2
+        assert args.output == "out.json"
+
 
 class TestCommands:
     def test_workloads_listing(self, capsys):
