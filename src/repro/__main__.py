@@ -9,6 +9,9 @@ Subcommands:
   figure; optionally export the registry JSON and a command trace JSONL.
 * ``campaign`` — sweep workloads × mechanisms on a parallel, cached,
   fault-tolerant worker pool (``repro.exec``) and print a result table.
+* ``check`` — run the protocol-conformance oracle (``repro.check``) over
+  seeded random scenarios, one reproduced counterexample, or the perf
+  matrix; exits non-zero on any violation.
 * ``workloads`` — list the named workload suite.
 * ``timings`` — print the baseline + CROW command timing parameters.
 * ``overheads`` — print the CROW substrate cost model (Section 6).
@@ -314,6 +317,100 @@ def _cmd_overheads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CheckReport
+    from repro.check.scenarios import (
+        Scenario,
+        random_scenario,
+        run_checked_case,
+        run_scenario,
+    )
+    from repro.errors import ConformanceError
+
+    merged = CheckReport()
+
+    def show(report) -> None:
+        for violation in report.violations:
+            print(f"  {violation}")
+        if report.truncated:
+            print(f"  ... {report.truncated} further violation(s) truncated")
+
+    try:
+        if args.scenario is not None:
+            scenario = Scenario.from_json(args.scenario)
+            print(scenario.to_json())
+            _, report = run_scenario(scenario, mode=args.mode)
+            merged.merge(report)
+            show(report)
+        elif args.reproduce is not None:
+            scenario = random_scenario(args.reproduce)
+            print(f"case seed {args.reproduce}: {scenario.to_json()}")
+            _, report = run_scenario(scenario, mode=args.mode)
+            merged.merge(report)
+            show(report)
+        elif args.perf_matrix:
+            from repro.perf.suite import CASES
+
+            table = TextTable(
+                "conformance check over the perf matrix",
+                ["case", "commands", "violations"],
+            )
+            for case in CASES:
+                _, report = run_checked_case(
+                    case.workloads,
+                    case.mechanism,
+                    case.instructions,
+                    case.warmup_instructions,
+                    seed=case.seed,
+                    mode=args.mode,
+                )
+                merged.merge(report)
+                table.add_row(
+                    case.name, report.commands, report.total_violations
+                )
+                show(report)
+            print(table.render())
+        else:
+            table = TextTable(
+                f"conformance sweep: {args.cases} scenario(s), "
+                f"base seed {args.seed}",
+                ["case seed", "mechanism", "workloads", "commands",
+                 "violations"],
+            )
+            for i in range(args.cases):
+                case_seed = args.seed + i
+                scenario = random_scenario(case_seed)
+                _, report = run_scenario(scenario, mode=args.mode)
+                merged.merge(report)
+                table.add_row(
+                    case_seed,
+                    scenario.mechanism,
+                    "+".join(scenario.workloads),
+                    report.commands,
+                    report.total_violations,
+                )
+                if not report.ok:
+                    print(f"case seed {case_seed}: {scenario.to_json()}")
+                    show(report)
+            print(table.render())
+            print(
+                "reproduce any case with: "
+                f"python -m repro check --reproduce <case seed>"
+            )
+    except ConformanceError as error:
+        print(f"strict-mode violation: {error}", file=sys.stderr)
+        if args.report is not None:
+            merged.violations.append(error.violation)
+            merged.write_json(args.report)
+            print(f"violation report written to {args.report}")
+        return 1
+    if args.report is not None:
+        merged.write_json(args.report)
+        print(f"violation report written to {args.report}")
+    print(merged.summary())
+    return 0 if merged.ok else 1
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import compare, load_results, run_suite, write_results
 
@@ -442,6 +539,43 @@ def build_parser() -> argparse.ArgumentParser:
     ov = sub.add_parser("overheads", help="print substrate cost model")
     ov.add_argument("--copy-rows", type=int, default=8)
     ov.set_defaults(func=_cmd_overheads)
+
+    check = sub.add_parser(
+        "check",
+        help="run the DRAM/CROW protocol-conformance oracle over "
+             "randomized scenarios or the perf matrix",
+    )
+    check.add_argument(
+        "--cases", type=int, default=25, metavar="N",
+        help="random scenarios to sweep (default: 25)",
+    )
+    check.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; case i uses seed+i (default: 0)",
+    )
+    check.add_argument(
+        "--reproduce", type=int, default=None, metavar="CASE_SEED",
+        help="re-run one scenario from its case seed and print it",
+    )
+    check.add_argument(
+        "--scenario", default=None, metavar="JSON",
+        help="run one scenario from its JSON spec (as printed on failure)",
+    )
+    check.add_argument(
+        "--perf-matrix", action="store_true",
+        help="check the 4-case perf-suite matrix instead of random "
+             "scenarios",
+    )
+    check.add_argument(
+        "--mode", default="report", choices=("strict", "report"),
+        help="strict raises on the first violation; report collects all "
+             "(default: report)",
+    )
+    check.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the merged violation report as JSON to FILE",
+    )
+    check.set_defaults(func=_cmd_check)
 
     perf = sub.add_parser(
         "perf",

@@ -1,0 +1,26 @@
+"""Runtime DRAM/CROW protocol-conformance checking.
+
+This package provides an *independent* shadow implementation of the
+DRAM command-legality rules the simulator is supposed to obey: JEDEC
+inter-command timing, bank/row state-machine legality, and the CROW
+duplicate-row invariants from the paper. A
+:class:`~repro.check.checker.ProtocolChecker` attaches to a
+:class:`~repro.dram.device.DramChannel` via the same observer tap used
+by telemetry and validates every issued command, producing structured
+:class:`CheckViolation` records (or raising
+:class:`~repro.errors.ConformanceError` in strict mode).
+
+:mod:`repro.check.scenarios` adds randomized short-simulation scenarios
+shared by the ``python -m repro check`` CLI and the hypothesis fuzz
+layer in ``tests/fuzz/``.
+"""
+
+from repro.check.checker import REFRESH_POSTPONE_SLACK, ProtocolChecker
+from repro.check.violations import CheckReport, CheckViolation
+
+__all__ = [
+    "ProtocolChecker",
+    "CheckReport",
+    "CheckViolation",
+    "REFRESH_POSTPONE_SLACK",
+]

@@ -1,0 +1,128 @@
+"""Structured conformance-violation records and reports.
+
+A :class:`CheckViolation` pins one broken rule to the command that broke
+it: the issue cycle, the bank, the constraint name, the offending command
+(and, for inter-command constraints, the prior command it conflicts
+with), plus the required/actual spacing and the resulting *slack* —
+``actual - required``, negative exactly when the rule is violated. The
+record renders to one line, so a report reads like a protocol analyzer
+log and serializes cleanly to JSON for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["CheckViolation", "CheckReport"]
+
+
+@dataclass(frozen=True)
+class CheckViolation:
+    """One protocol/timing/CROW rule broken by an issued command."""
+
+    cycle: int
+    bank: int
+    constraint: str
+    command: str
+    #: The earlier command this one conflicts with ("" for state rules).
+    prior: str = ""
+    #: Minimum legal spacing in cycles (None for non-timing rules).
+    required: int | None = None
+    #: Observed spacing in cycles (None for non-timing rules).
+    actual: int | None = None
+    message: str = ""
+
+    @property
+    def slack(self) -> int | None:
+        """``actual - required``; negative when the constraint failed."""
+        if self.required is None or self.actual is None:
+            return None
+        return self.actual - self.required
+
+    def __str__(self) -> str:
+        pair = f"{self.prior}->{self.command}" if self.prior else self.command
+        text = (
+            f"cycle {self.cycle} bank {self.bank}: {self.constraint} "
+            f"violated by {pair}"
+        )
+        if self.required is not None and self.actual is not None:
+            text += (
+                f" (required >= {self.required}, got {self.actual}, "
+                f"slack {self.slack})"
+            )
+        if self.message:
+            text += f" -- {self.message}"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (includes the derived slack)."""
+        data = asdict(self)
+        data["slack"] = self.slack
+        return data
+
+
+@dataclass
+class CheckReport:
+    """Accumulated outcome of checking one command stream."""
+
+    commands: int = 0
+    violations: list[CheckViolation] = field(default_factory=list)
+    #: Violations beyond the recording cap (counted, not stored).
+    truncated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the stream conformed (no violations at all)."""
+        return not self.violations and not self.truncated
+
+    @property
+    def total_violations(self) -> int:
+        """Recorded plus truncated violation count."""
+        return len(self.violations) + self.truncated
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Fold another channel's report into this one (returns self)."""
+        self.commands += other.commands
+        self.violations.extend(other.violations)
+        self.truncated += other.truncated
+        return self
+
+    def by_constraint(self) -> dict[str, int]:
+        """Violation counts keyed by constraint name (sorted keys)."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.constraint] = (
+                counts.get(violation.constraint, 0) + 1
+            )
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.ok:
+            return f"{self.commands} commands checked, conformant"
+        head = self.violations[0]
+        return (
+            f"{self.commands} commands checked, "
+            f"{self.total_violations} violation(s); first: {head}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready export (deterministic key order per record)."""
+        return {
+            "commands": self.commands,
+            "ok": self.ok,
+            "total_violations": self.total_violations,
+            "truncated": self.truncated,
+            "by_constraint": self.by_constraint(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def write_json(self, path: "str | Path") -> None:
+        """Write the export as stable, indented JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )

@@ -106,13 +106,15 @@ class DramChannel:
         # Statistics (consumed by the energy model and the metrics layer).
         self.counts = {kind: 0 for kind in CommandKind}
         self.busy_reads = 0
-        #: Optional command-stream recorder (repro.validation) and
-        #: telemetry ring buffer (repro.telemetry.EventTrace).
-        #: Attach both observers via plain assignment; the issue path
-        #: checks one combined ``_observed`` flag (the None-guards are
-        #: hoisted out of the per-command hot loop into the setters).
+        #: Optional command-stream recorder (repro.validation), telemetry
+        #: ring buffer (repro.telemetry.EventTrace) and conformance
+        #: checker (repro.check.ProtocolChecker).
+        #: Attach observers via plain assignment; the issue path checks
+        #: one combined ``_observed`` flag (the None-guards are hoisted
+        #: out of the per-command hot loop into the setters).
         self._recorder = None
         self._trace = None
+        self._checker = None
         self._observed = False
 
     # ------------------------------------------------------------------
@@ -126,7 +128,7 @@ class DramChannel:
     @recorder.setter
     def recorder(self, value) -> None:
         self._recorder = value
-        self._observed = self._recorder is not None or self._trace is not None
+        self._refresh_observed()
 
     @property
     def trace(self):
@@ -136,7 +138,24 @@ class DramChannel:
     @trace.setter
     def trace(self, value) -> None:
         self._trace = value
-        self._observed = self._recorder is not None or self._trace is not None
+        self._refresh_observed()
+
+    @property
+    def checker(self):
+        """Optional :class:`repro.check.ProtocolChecker` shadow oracle."""
+        return self._checker
+
+    @checker.setter
+    def checker(self, value) -> None:
+        self._checker = value
+        self._refresh_observed()
+
+    def _refresh_observed(self) -> None:
+        self._observed = (
+            self._recorder is not None
+            or self._trace is not None
+            or self._checker is not None
+        )
 
     # ------------------------------------------------------------------
     # Bank access helpers
@@ -287,6 +306,8 @@ class DramChannel:
                 self._recorder.record(now, command)
             if self._trace is not None:
                 self._trace.record_command(now, command)
+            if self._checker is not None:
+                self._checker.observe(now, command)
         return result
 
     def _advance_refresh_cursor(self) -> range:

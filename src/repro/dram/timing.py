@@ -74,6 +74,25 @@ class TimingParameters:
                 raise ConfigError(f"{name} must be >= 1 cycle")
         if self.clock_mhz <= 0:
             raise ConfigError("clock_mhz must be positive")
+        # Cross-field sanity: parameter sets violating these describe a
+        # device that cannot operate (a row would close before its first
+        # column command, four back-to-back ACTs would overrun tFAW, or
+        # refresh would occupy the channel full-time).
+        if self.tras < self.trcd:
+            raise ConfigError(
+                f"tras ({self.tras}) must be >= trcd ({self.trcd}): a row "
+                f"must stay open at least until it can be accessed"
+            )
+        if self.tfaw < self.trrd:
+            raise ConfigError(
+                f"tfaw ({self.tfaw}) must be >= trrd ({self.trrd}): the "
+                f"four-ACT window cannot be shorter than one ACT gap"
+            )
+        if self.trefi <= self.trfc:
+            raise ConfigError(
+                f"trefi ({self.trefi}) must be > trfc ({self.trfc}): "
+                f"refresh would blackout the channel continuously"
+            )
 
     @property
     def trc(self) -> int:

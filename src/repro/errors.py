@@ -11,6 +11,7 @@ __all__ = [
     "ProtocolError",
     "DataIntegrityError",
     "CapacityError",
+    "ConformanceError",
 ]
 
 
@@ -50,3 +51,17 @@ class DataIntegrityError(ReproError):
 class CapacityError(ReproError):
     """A structural resource (copy rows, MSHRs, queue slots) was exhausted
     in a context where the caller is required to check for space first."""
+
+
+class ConformanceError(ReproError):
+    """The shadow protocol checker observed a spec violation.
+
+    Raised in *strict* mode by :class:`repro.check.ProtocolChecker` when
+    an issued command breaks a JEDEC-style timing constraint, a bank
+    state-machine rule, or a CROW invariant. The attached ``violation``
+    is the structured :class:`repro.check.CheckViolation` record.
+    """
+
+    def __init__(self, violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation

@@ -75,6 +75,14 @@ class SystemConfig:
     telemetry_epoch_cycles: int = 10_000
     #: Command-trace ring-buffer capacity (0 disables tracing).
     telemetry_trace_capacity: int = 0
+    # --- conformance checking --------------------------------------------
+    #: Attach a repro.check.ProtocolChecker to every channel: an
+    #: independent shadow oracle validating JEDEC timing, bank-state
+    #: legality and CROW invariants on the issued command stream.
+    check: bool = False
+    #: 'strict' raises ConformanceError on the first violation; 'report'
+    #: accumulates CheckViolation records on System.check_report().
+    check_mode: str = "strict"
     # --- misc ------------------------------------------------------------
     functional_cells: bool = False
     #: Attach a repro.validation.CommandRecorder to every channel, so the
@@ -95,6 +103,11 @@ class SystemConfig:
             raise ConfigError("telemetry_epoch_cycles must be >= 1")
         if self.telemetry_trace_capacity < 0:
             raise ConfigError("telemetry_trace_capacity must be >= 0")
+        if self.check_mode not in ("strict", "report"):
+            raise ConfigError(
+                "check_mode must be 'strict' or 'report', "
+                f"got {self.check_mode!r}"
+            )
 
     def resolved_geometry(self) -> DramGeometry:
         """Geometry with the mechanism's structural knobs applied."""

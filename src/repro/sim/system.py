@@ -312,6 +312,26 @@ class System:
                 recorder = CommandRecorder()
                 channel.recorder = recorder
                 self.recorders.append(recorder)
+        self.checkers = []
+        if config.check:
+            from repro.check import ProtocolChecker
+
+            extended = self.timing.refresh_window_ms > config.refresh_window_ms
+            ideal = config.mechanism in ("ideal-crow-cache", "ideal")
+            for ch, channel in enumerate(self.channels):
+                checker = ProtocolChecker(
+                    self.geometry,
+                    self.timing,
+                    salp=salp_subarrays is not None,
+                    expect_refresh=refresh_enabled,
+                    extended_refresh=extended,
+                    weak_rows=self._weak_row_set(ch) if extended else (),
+                    assume_ideal_duplicates=ideal,
+                    mode=config.check_mode,
+                )
+                self._seed_checker_remaps(checker, self.mechanisms[ch])
+                channel.checker = checker
+                self.checkers.append(checker)
         self.events = _EventQueue()
         controller_config = config.controller
         if config.mechanism == "salp" and config.salp_open_page:
@@ -464,6 +484,51 @@ class System:
         if name == "chargecache":
             return ChargeCache(geometry, timing)
         raise ConfigError(f"unknown mechanism {name!r}")
+
+    def _weak_row_set(self, channel: int) -> set[tuple[int, int]]:
+        """Retention-weak regular rows of one channel as (bank, row)."""
+        weak: set[tuple[int, int]] = set()
+        if self.retention is None:
+            return weak
+        rows_per_subarray = self.geometry.rows_per_subarray
+        for bank in range(self.geometry.banks_per_channel):
+            for subarray in range(self.geometry.subarrays_per_bank):
+                for index in self.retention.weak_regular_rows(
+                    channel, bank, subarray
+                ):
+                    weak.add((bank, subarray * rows_per_subarray + index))
+        return weak
+
+    def _seed_checker_remaps(self, checker, mechanism: Mechanism) -> None:
+        """Register boot-time weak-row remaps (CROW-ref / RowHammer) so
+        the checker accepts plain activations of the serving copy rows."""
+        components = (
+            mechanism,
+            getattr(mechanism, "ref", None),
+            getattr(mechanism, "hammer", None),
+        )
+        for component in components:
+            remap = getattr(component, "remap", None)
+            if isinstance(remap, dict):
+                for (bank, bank_row), copy in remap.items():
+                    checker.seed_remap(bank, bank_row, copy)
+
+    def check_report(self, finalize: bool = True):
+        """Merged conformance report across channels (requires check=True).
+
+        With ``finalize`` the end-of-run whole-window checks (refresh
+        coverage) run first, against the current cycle.
+        """
+        if not self.checkers:
+            raise ConfigError("check_report() requires SystemConfig.check")
+        from repro.check import CheckReport
+
+        merged = CheckReport()
+        for checker in self.checkers:
+            if finalize:
+                checker.finalize(self.now)
+            merged.merge(checker.report)
+        return merged
 
     def _final_timing(self, base: TimingParameters) -> TimingParameters:
         """Apply the refresh window the mechanisms achieved (CROW-ref)."""

@@ -1,0 +1,44 @@
+"""The conformance oracle over the repo's six reference cases.
+
+The issue's acceptance bar: the checker must validate, with zero
+violations, every stream the repo already treats as a correctness
+oracle — the four perf-suite matrix cases plus the two committed
+telemetry-digest cases. Together these cover single-core and 4-core
+mixes, baseline and CROW-cache, refresh, and the full default geometry
+(as opposed to the small scenario geometry the fuzz layer uses).
+"""
+
+import pytest
+
+from repro.check.scenarios import run_checked_case
+from repro.perf.suite import CASES
+
+# (label, workloads, mechanism, instructions, warmup, seed)
+ORACLE_CASES = [
+    (case.name, case.workloads, case.mechanism, case.instructions,
+     case.warmup_instructions, case.seed)
+    for case in CASES
+] + [
+    ("digest-libq-baseline", ("libq",), "baseline", 2_000, 500, 1),
+    ("digest-libq-crow-cache", ("libq",), "crow-cache", 2_000, 500, 1),
+]
+
+
+@pytest.mark.parametrize(
+    "label, workloads, mechanism, instructions, warmup, seed",
+    ORACLE_CASES,
+    ids=[case[0] for case in ORACLE_CASES],
+)
+def test_oracle_case_is_conformant(
+    label, workloads, mechanism, instructions, warmup, seed
+):
+    result, report = run_checked_case(
+        workloads, mechanism, instructions, warmup, seed=seed
+    )
+    assert report.commands > 0, label
+    assert report.ok, f"{label}: {report.summary()}"
+    assert result.cycles > 0
+
+
+def test_oracle_cases_cover_six_cases():
+    assert len(ORACLE_CASES) == 6

@@ -1,0 +1,34 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Two registered profiles:
+
+* ``dev`` (default) — a small example budget so the property/fuzz tests
+  stay fast during local iteration.
+* ``ci`` — derandomized (fixed seed, so every CI run fuzzes the same
+  scenario sequence and failures reproduce locally), a larger example
+  budget, and no deadline (shared CI runners have noisy clocks). The
+  printed ``@reproduce_failure`` blob plus the scenario JSON a failing
+  fuzz test prints are enough to replay any counterexample.
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow does). Tests that
+pin ``max_examples`` via their own ``@settings`` keep their explicit
+budgets under either profile.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+)
+settings.register_profile(
+    "dev",
+    max_examples=20,
+    deadline=None,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

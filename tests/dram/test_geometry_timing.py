@@ -82,6 +82,36 @@ class TestTimingParameters:
         with pytest.raises(ConfigError):
             TimingParameters(trcd=0)
 
+    def test_rejects_tras_shorter_than_trcd(self):
+        """A row that closes before its cells finish opening is
+        physically meaningless — no column access could ever be legal."""
+        with pytest.raises(ConfigError, match="tras"):
+            TimingParameters(trcd=30, tras=29)
+
+    def test_accepts_tras_equal_to_trcd(self):
+        timing = TimingParameters(trcd=29, tras=29)
+        assert timing.tras == timing.trcd
+
+    def test_rejects_tfaw_shorter_than_trrd(self):
+        """The 4-ACT window cannot be tighter than a single ACT-to-ACT
+        gap; such a tFAW could never be the binding constraint."""
+        with pytest.raises(ConfigError, match="tfaw"):
+            TimingParameters(trrd=16, tfaw=15)
+
+    def test_accepts_tfaw_equal_to_trrd(self):
+        timing = TimingParameters(trrd=16, tfaw=16)
+        assert timing.tfaw == timing.trrd
+
+    def test_rejects_trefi_not_exceeding_trfc(self):
+        """If each REF takes at least a full refresh interval, the bus
+        does nothing but refresh and no request can ever be served."""
+        with pytest.raises(ConfigError, match="trefi"):
+            TimingParameters(trfc=448, trefi=448)
+
+    def test_accepts_trefi_exceeding_trfc(self):
+        timing = TimingParameters(trfc=448, trefi=449)
+        assert timing.trefi > timing.trfc
+
 
 class TestCrowTimings:
     def test_from_paper_factors(self):

@@ -139,6 +139,97 @@ class TestReplay:
         assert len(report.violations) == 1
 
 
+class TestRoundTripAllKinds:
+    """save/load must be lossless for every CommandKind and every field."""
+
+    def one_of_each(self):
+        """A stream containing all seven command kinds, with CROW row
+        pairs, carried ActTimings and a SALP-style subarray-scoped
+        column access / precharge."""
+        return [
+            (0, act(5)),
+            (100, act_c(7, copy_index=2)),
+            (200, act_t(7, copy_index=2)),
+            (300, Command(CommandKind.RD, bank=1, col=17, subarray=3)),
+            (400, Command(CommandKind.WR, bank=1, col=18, subarray=3)),
+            (500, Command(CommandKind.PRE, bank=1, subarray=3)),
+            (600, Command(CommandKind.REF, bank=0)),
+        ]
+
+    def test_every_kind_round_trips(self, tmp_path):
+        recorder = CommandRecorder()
+        for cycle, command in self.one_of_each():
+            recorder.record(cycle, command)
+        kinds = {record.command.kind for record in recorder}
+        assert kinds == set(CommandKind)
+        path = tmp_path / "all_kinds.jsonl"
+        recorder.save(path)
+        loaded = CommandRecorder.load(path)
+        assert loaded.records == recorder.records
+
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        recorder = CommandRecorder()
+        for cycle, command in self.one_of_each():
+            recorder.record(cycle, command)
+        path = tmp_path / "fields.jsonl"
+        recorder.save(path)
+        loaded = CommandRecorder.load(path)
+        for original, restored in zip(recorder.records, loaded.records):
+            assert restored.cycle == original.cycle
+            a, b = original.command, restored.command
+            assert b.kind is a.kind
+            assert b.bank == a.bank
+            assert b.rows == a.rows
+            assert b.col == a.col
+            assert b.subarray == a.subarray
+            assert b.timings == a.timings
+
+    def test_crow_pair_rows_survive(self, tmp_path):
+        """ACT_C/ACT_T (regular, copy) pairs keep kind/subarray/index."""
+        recorder = CommandRecorder()
+        recorder.record(0, act_c(700, copy_index=5))
+        recorder.record(900, act_t(700, copy_index=5))
+        path = tmp_path / "pairs.jsonl"
+        recorder.save(path)
+        loaded = CommandRecorder.load(path)
+        for record in loaded.records:
+            regular, copy = record.command.rows
+            assert regular.kind.name == "REGULAR"
+            assert copy.kind.name == "COPY"
+            assert copy.subarray == regular.subarray
+            assert copy.index == 5
+        act_c_cmd = loaded.records[0].command
+        assert act_c_cmd.timings.trcd == CROW.trcd_act_c
+        act_t_cmd = loaded.records[1].command
+        assert act_t_cmd.timings.twr_full == CROW.twr_mra_full
+
+    def test_all_kinds_stream_replays(self, tmp_path):
+        """A legal stream touching every kind replays with zero
+        violations after a save/load round trip."""
+        t = TIMING
+        stream = [
+            (0, act_c(5)),
+            (CROW.tras_act_c_full, Command(CommandKind.PRE, bank=0)),
+            (1000, act_t(5)),
+            (1000 + CROW.trcd_act_t_full,
+             Command(CommandKind.RD, bank=0, col=0)),
+            (1000 + CROW.trcd_act_t_full + t.tcl + t.tbl + 2 - t.tcwl,
+             Command(CommandKind.WR, bank=0, col=1)),
+            (3000, Command(CommandKind.PRE, bank=0)),
+            (4000, act(9, bank=1)),
+            (4000 + t.tras, Command(CommandKind.PRE, bank=1)),
+            (6000, Command(CommandKind.REF, bank=0)),
+        ]
+        recorder = CommandRecorder()
+        for cycle, command in stream:
+            recorder.record(cycle, command)
+        path = tmp_path / "legal.jsonl"
+        recorder.save(path)
+        report = replay(CommandRecorder.load(path), GEO, TIMING)
+        assert report.ok, report.summary()
+        assert report.commands == len(stream)
+
+
 class TestEndToEndValidation:
     @pytest.mark.parametrize("mechanism", ["baseline", "crow-cache"])
     def test_full_system_streams_replay_clean(self, mechanism):
