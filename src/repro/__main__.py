@@ -20,6 +20,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import SystemConfig, WORKLOADS, run_mix, run_workload
@@ -198,6 +199,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         warmup_instructions=args.warmup,
         seed=args.seed,
     )
+    if args.checkpoint_dir is not None:
+        run_kwargs["checkpoint_dir"] = args.checkpoint_dir
+        run_kwargs["checkpoint_every"] = args.checkpoint_every
     tasks = []
     for mechanism in args.mechanisms:
         config = SystemConfig(
@@ -223,7 +227,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         journal=args.journal,
         progress=sys.stderr.isatty(),
     ) as campaign:
-        outcomes = campaign.run(tasks)
+        if args.fork_warm is not None:
+            outcomes = campaign.run_forked(tasks, args.fork_warm)
+        else:
+            outcomes = campaign.run(tasks)
 
         table = TextTable(
             f"campaign over {len(tasks)} task(s), jobs={campaign.runner.jobs}",
@@ -258,6 +265,95 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"cache dir={directory}"
         )
     return 1 if failed else 0
+
+
+def _diff_values(path: str, a, b, lines: list) -> None:
+    """Recursive value diff; appends ``path: a != b`` leaf lines."""
+    if len(lines) > 200:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b), key=str):
+            inner = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                lines.append(f"{inner}: <absent> != {b[key]!r}")
+            elif key not in b:
+                lines.append(f"{inner}: {a[key]!r} != <absent>")
+            else:
+                _diff_values(inner, a[key], b[key], lines)
+        return
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            lines.append(f"{path}: length {len(a)} != {len(b)}")
+            return
+        for i, (item_a, item_b) in enumerate(zip(a, b)):
+            _diff_values(f"{path}[{i}]", item_a, item_b, lines)
+        return
+    if a != b:
+        lines.append(f"{path}: {a!r} != {b!r}")
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.snapshot import read_header, read_snapshot
+
+    try:
+        if args.action == "inspect":
+            header = read_header(args.path)
+            table = TextTable(f"snapshot {args.path}", ["field", "value"])
+            for key in sorted(header):
+                value = header[key]
+                if isinstance(value, list):
+                    value = ", ".join(str(v) for v in value)
+                table.add_row(key, value)
+            print(table.render())
+            return 0
+        if args.action == "verify":
+            header, payload = read_snapshot(args.path)
+            kind = header.get("kind")
+            print(
+                f"{args.path}: OK (kind={kind}, format "
+                f"v{header.get('format_version')}, "
+                f"cycle={header.get('cycle', '-')})"
+            )
+            return 0
+        if args.action == "diff":
+            if args.path2 is None:
+                print("diff needs two snapshot paths", file=sys.stderr)
+                return 2
+            header_a, payload_a = read_snapshot(args.path)
+            header_b, payload_b = read_snapshot(args.path2)
+            lines: list = []
+            _diff_values("header", header_a, header_b, lines)
+            state_a = (
+                payload_a.get("state") if isinstance(payload_a, dict) else None
+            )
+            state_b = (
+                payload_b.get("state") if isinstance(payload_b, dict) else None
+            )
+            if state_a is not None and state_b is not None:
+                _diff_values("state", state_a, state_b, lines)
+            if not lines:
+                print("snapshots are identical")
+                return 0
+            shown = lines[: args.limit]
+            for line in shown:
+                print(line)
+            if len(lines) > len(shown):
+                print(f"... {len(lines) - len(shown)} further difference(s)")
+            return 1
+        # resume
+        from repro.sim.system import System
+
+        result = System.resume(args.path)
+        digest = result.telemetry_digest()
+        print(
+            f"resumed run complete: cycles={result.cycles} "
+            f"digest={digest if digest is not None else '-'}"
+        )
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -527,7 +623,42 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--density", type=int, default=8,
                       choices=(8, 16, 32, 64))
     camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="periodically checkpoint each task into DIR; a killed "
+             "campaign resumes tasks from their latest checkpoint",
+    )
+    camp.add_argument(
+        "--checkpoint-every", type=int, default=50_000, metavar="CYCLES",
+        help="checkpoint cadence in memory cycles (default: 50000)",
+    )
+    camp.add_argument(
+        "--fork-warm", default=None, metavar="DIR",
+        help="fork mechanism variants from shared warm images kept in "
+             "DIR (functional warm-up runs once per config prefix)",
+    )
     camp.set_defaults(func=_cmd_campaign)
+
+    snap = sub.add_parser(
+        "snapshot",
+        help="inspect, verify, diff, or resume snapshot files",
+    )
+    snap.add_argument(
+        "action", choices=("inspect", "verify", "diff", "resume"),
+        help="inspect: print the header; verify: check the integrity "
+             "digest; diff: compare two snapshots; resume: continue a "
+             "checkpointed run to completion",
+    )
+    snap.add_argument("path", help="snapshot file")
+    snap.add_argument(
+        "path2", nargs="?", default=None,
+        help="second snapshot (diff only)",
+    )
+    snap.add_argument(
+        "--limit", type=int, default=40, metavar="N",
+        help="max differences to print for diff (default: 40)",
+    )
+    snap.set_defaults(func=_cmd_snapshot)
 
     wl = sub.add_parser("workloads", help="list the workload suite")
     wl.set_defaults(func=_cmd_workloads)
@@ -606,7 +737,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-output: the Unix
+        # convention is a quiet exit, not a traceback. Detach stdout so
+        # interpreter shutdown does not raise again on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, what a killed-by-SIGPIPE shell reports
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ from repro.sim.config import MECHANISMS, SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.sweep import derive_trace_seed
 from repro.sim.system import System
-from repro.trace.workloads import workload
+from repro.trace.stream import TraceStream
 
 __all__ = [
     "Scenario",
@@ -155,7 +155,7 @@ def run_scenario(
     """
     config = scenario.to_config(mode)
     traces = [
-        workload(name).trace(derive_trace_seed(scenario.seed, core))
+        TraceStream(name, derive_trace_seed(scenario.seed, core))
         for core, name in enumerate(scenario.workloads)
     ]
     system = System(config, traces)
@@ -192,10 +192,10 @@ def run_checked_case(
         telemetry=telemetry,
     )
     if len(workloads) == 1:
-        traces = [workload(workloads[0]).trace(0)]
+        traces = [TraceStream(workloads[0], 0)]
     else:
         traces = [
-            workload(name).trace(derive_trace_seed(0, core))
+            TraceStream(name, derive_trace_seed(0, core))
             for core, name in enumerate(workloads)
         ]
     system = System(config, traces)

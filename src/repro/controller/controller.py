@@ -384,7 +384,46 @@ class ChannelController:
         if self.schedule_event is None:
             request.callback(request, finish)
         else:
-            self.schedule_event(finish, lambda: request.callback(request, finish))
+            self.schedule_event(finish, request)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self, encode_request) -> dict:
+        """Queues, policy state, statistics and the mechanism's state.
+
+        ``encode_request`` maps a queued :class:`MemRequest` to its state
+        dict (the owner knows how to tag callbacks). A request is never
+        simultaneously queued and scheduled on the event heap — completion
+        always dequeues first — so queue entries are serialized here and
+        in-flight completions by the event heap, without aliasing.
+        ``latency_hist`` is telemetry-owned wiring; its contents restore
+        with the telemetry state.
+        """
+        return {
+            "read_q": [encode_request(r) for r in self.read_q],
+            "write_q": [encode_request(r) for r in self.write_q],
+            "drain_mode": self.drain_mode,
+            "next_ref": self.next_ref,
+            "refresh_backlog": self.refresh_backlog,
+            "hit_streak": list(self.hit_streak),
+            "bank_last_use": list(self.bank_last_use),
+            "bank_pending": list(self.bank_pending),
+            "stats": dict(self.stats),
+            "mechanism": self.mechanism.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict, decode_request) -> None:
+        self.read_q = [decode_request(r) for r in state["read_q"]]
+        self.write_q = [decode_request(r) for r in state["write_q"]]
+        self.drain_mode = state["drain_mode"]
+        self.next_ref = state["next_ref"]
+        self.refresh_backlog = state["refresh_backlog"]
+        self.hit_streak = list(state["hit_streak"])
+        self.bank_last_use = list(state["bank_last_use"])
+        self.bank_pending = list(state["bank_pending"])
+        self.stats = dict(state["stats"])
+        self.mechanism.load_state_dict(state["mechanism"])
 
     # ------------------------------------------------------------------
     # Row-buffer policy

@@ -61,6 +61,58 @@ class MemRequest:
         #: subarray, so the scheduler builds it once).
         self.col_cmd: "tuple | None" = None
 
+    def __call__(self, finish: int) -> None:
+        """Fire the completion callback (the request is its own event).
+
+        The controller schedules the request object itself on the system
+        event heap; at the finish cycle the heap calls it with that
+        cycle. Keeping the event a plain object (not a closure over
+        ``finish``) is what makes the event heap serializable.
+        """
+        self.callback(self, finish)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self, callback_tag: str | None) -> dict:
+        """Request state minus live object references.
+
+        ``location`` is rebuilt from the address by the mapper and the
+        ``col_cmd`` memo is dropped (it regenerates on the next scheduler
+        pass); ``callback_tag`` names the callback symbolically (the owner
+        resolves it back to a bound method on load).
+        """
+        return {
+            "type": int(self.type),
+            "address": self.address,
+            "core_id": self.core_id,
+            "arrival": self.arrival,
+            "is_prefetch": self.is_prefetch,
+            "issued_at": self.issued_at,
+            "completed_at": self.completed_at,
+            "callback": callback_tag,
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        location: DramAddress,
+        callback: Callable[["MemRequest", int], None] | None,
+    ) -> "MemRequest":
+        request = cls(
+            RequestType(state["type"]),
+            state["address"],
+            location,
+            core_id=state["core_id"],
+            arrival=state["arrival"],
+            callback=callback,
+            is_prefetch=state["is_prefetch"],
+        )
+        request.issued_at = state["issued_at"]
+        request.completed_at = state["completed_at"]
+        return request
+
     @property
     def latency(self) -> int | None:
         """Arrival-to-completion latency in memory cycles, once finished."""

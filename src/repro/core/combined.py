@@ -101,6 +101,22 @@ class CrowCacheRef(Mechanism):
         """CROW-table hit rate of the cache component."""
         return self.cache.hit_rate()
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The shared table is serialized once, at this wrapper."""
+        return {
+            "table": self.table.state_dict(),
+            "ref": self.ref.state_dict(include_table=False),
+            "cache": self.cache.state_dict(include_table=False),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.table.load_state_dict(state["table"])
+        self.ref.load_state_dict(state["ref"])
+        self.cache.load_state_dict(state["cache"])
+
     def stats(self) -> dict[str, float]:
         """Mechanism-specific statistics for the metrics layer."""
         merged = self.cache.stats()

@@ -127,6 +127,24 @@ class CrowFullSubstrate(Mechanism):
         """Fraction of demand activations served as table hits."""
         return self.cache.hit_rate()
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The shared table is serialized once, at this wrapper."""
+        return {
+            "table": self.table.state_dict(),
+            "ref": self.ref.state_dict(include_table=False),
+            "hammer": self.hammer.state_dict(include_table=False),
+            "cache": self.cache.state_dict(include_table=False),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.table.load_state_dict(state["table"])
+        self.ref.load_state_dict(state["ref"])
+        self.hammer.load_state_dict(state["hammer"])
+        self.cache.load_state_dict(state["cache"])
+
     def stats(self) -> dict[str, float]:
         """Mechanism-specific statistics for the metrics layer."""
         merged = self.cache.stats()

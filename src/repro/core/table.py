@@ -63,6 +63,28 @@ class CrowEntry:
         self.is_fully_restored = True
         self.last_use = -1
 
+    def state_dict(self) -> tuple:
+        """Compact positional encoding (tables hold thousands of these)."""
+        return (
+            self.subarray,
+            self.allocated,
+            self.regular_row,
+            int(self.owner),
+            self.is_fully_restored,
+            self.last_use,
+        )
+
+    def load_state_dict(self, state: tuple) -> None:
+        (
+            self.subarray,
+            self.allocated,
+            self.regular_row,
+            owner,
+            self.is_fully_restored,
+            self.last_use,
+        ) = state
+        self.owner = EntryOwner(owner)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CrowEntry(sa={self.subarray}, way={self.way}, "
@@ -202,6 +224,27 @@ class CrowTable:
         entry.regular_row = -1
         entry.owner = EntryOwner.UNUSABLE
         entry.is_fully_restored = True
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Entry contents; the set/way structure is construction-fixed."""
+        return {
+            "sets": [
+                [
+                    [entry.state_dict() for entry in entries]
+                    for entries in bank_sets
+                ]
+                for bank_sets in self._sets
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for bank_sets, bank_state in zip(self._sets, state["sets"]):
+            for entries, entries_state in zip(bank_sets, bank_state):
+                for entry, entry_state in zip(entries, entries_state):
+                    entry.load_state_dict(entry_state)
 
     # ------------------------------------------------------------------
     # Statistics / overhead accounting

@@ -69,10 +69,41 @@ class CoreConfig:
 
 
 class _MemOp:
-    __slots__ = ("done",)
+    """One in-flight memory instruction and its completion callback.
 
-    def __init__(self) -> None:
+    The op itself is the ``on_complete`` callable handed to the memory
+    port — call it with the finish cycle and it retires/wakes its core.
+    Being a plain object with value state (rather than a closure) is what
+    lets :mod:`repro.snapshot` serialize in-flight accesses.
+    """
+
+    __slots__ = ("core", "is_store", "counts_mshr", "done")
+
+    def __init__(self, core: "Core", is_store: bool = False) -> None:
+        self.core = core
+        self.is_store = is_store
+        self.counts_mshr = False
         self.done = False
+
+    def __call__(self, finish: int) -> None:
+        self.done = True
+        core = self.core
+        if self.counts_mshr:
+            core.outstanding -= 1
+        core.notify(finish)
+
+    def state_dict(self) -> dict:
+        """Serializable value state (the owning core is contextual)."""
+        return {
+            "is_store": self.is_store,
+            "counts_mshr": self.counts_mshr,
+            "done": self.done,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.is_store = state["is_store"]
+        self.counts_mshr = state["counts_mshr"]
+        self.done = state["done"]
 
 
 class Core:
@@ -265,41 +296,27 @@ class Core:
         if self.outstanding >= self.config.mshrs:
             self.mshr_stalls += 1
             return "stall"
-        counts_mshr = [False]
         if record.is_write:
-
-            def on_store_complete(finish: int) -> None:
-                if counts_mshr[0]:
-                    self.outstanding -= 1
-                self.notify(finish)
-
+            op = _MemOp(self, is_store=True)
             outcome = self.port.access(
-                self.core_id, record.vaddr, True, record.pc, now,
-                on_store_complete,
+                self.core_id, record.vaddr, True, record.pc, now, op
             )
             if outcome == "stall":
                 return "stall"
             if outcome == "miss":
-                counts_mshr[0] = True
+                op.counts_mshr = True
                 self.outstanding += 1
             self.retired += 1   # stores retire without blocking the window
             return outcome
 
-        op = _MemOp()
-
-        def on_load_complete(finish: int) -> None:
-            op.done = True
-            if counts_mshr[0]:
-                self.outstanding -= 1
-            self.notify(finish)
-
+        op = _MemOp(self)
         outcome = self.port.access(
-            self.core_id, record.vaddr, False, record.pc, now, on_load_complete
+            self.core_id, record.vaddr, False, record.pc, now, op
         )
         if outcome == "stall":
             return "stall"
         if outcome == "miss":
-            counts_mshr[0] = True
+            op.counts_mshr = True
             self.outstanding += 1
         self._window.append(op)
         self._occupancy += 1
@@ -313,3 +330,69 @@ class Core:
             and self.measured_instructions >= self.target_instructions
         ):
             self.finish_cycle = now
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def window_op(self, index: int) -> _MemOp:
+        """The in-flight load at window position ``index`` (snapshot ref
+        target: the event heap stores ``("win", core, index)`` for loads
+        that live both in the window and on the heap/waiter lists)."""
+        entry = self._window[index]
+        if not isinstance(entry, _MemOp):
+            raise TypeError(f"window[{index}] is a bubble run, not a _MemOp")
+        return entry
+
+    def state_dict(self) -> dict:
+        """Window contents, trace position, and retire/measure state.
+
+        Requires the trace to be a :class:`repro.trace.TraceStream` (the
+        snapshot layer checks and raises a structured error first).
+        """
+        window: list = []
+        for entry in self._window:
+            if isinstance(entry, _MemOp):
+                window.append(("op", entry.state_dict()))
+            else:
+                window.append(("bub", entry[0]))
+        return {
+            "trace": self.trace.state_dict(),
+            "window": window,
+            "occupancy": self._occupancy,
+            "bubbles_left": self._bubbles_left,
+            "pending": tuple(self._pending) if self._pending is not None else None,
+            "trace_done": self._trace_done,
+            "outstanding": self.outstanding,
+            "retired": self.retired,
+            "next_wake": self.next_wake,
+            "mshr_stalls": self.mshr_stalls,
+            "measure_start_cycle": self.measure_start_cycle,
+            "measure_start_retired": self.measure_start_retired,
+            "target_instructions": self.target_instructions,
+            "finish_cycle": self.finish_cycle,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.trace.load_state_dict(state["trace"])
+        window: deque = deque()
+        for tag, payload in state["window"]:
+            if tag == "op":
+                op = _MemOp(self)
+                op.load_state_dict(payload)
+                window.append(op)
+            else:
+                window.append([payload])
+        self._window = window
+        self._occupancy = state["occupancy"]
+        self._bubbles_left = state["bubbles_left"]
+        pending = state["pending"]
+        self._pending = TraceRecord(*pending) if pending is not None else None
+        self._trace_done = state["trace_done"]
+        self.outstanding = state["outstanding"]
+        self.retired = state["retired"]
+        self.next_wake = state["next_wake"]
+        self.mshr_stalls = state["mshr_stalls"]
+        self.measure_start_cycle = state["measure_start_cycle"]
+        self.measure_start_retired = state["measure_start_retired"]
+        self.target_instructions = state["target_instructions"]
+        self.finish_cycle = state["finish_cycle"]

@@ -321,6 +321,43 @@ class DramChannel:
         return range(start, stop)
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """All mutable channel/rank/bank state.
+
+        Observers (recorder/trace/checker) are wiring, not state: they are
+        re-attached by ``System`` construction and carry their own state.
+        """
+        return {
+            "banks": [bank.state_dict() for bank in self.banks],
+            "cmd_bus_free": self.cmd_bus_free,
+            "act_history": list(self.act_history),
+            "last_act_time": self.last_act_time,
+            "last_rd_issue": self.last_rd_issue,
+            "last_wr_issue": self.last_wr_issue,
+            "ref_busy_until": self.ref_busy_until,
+            "refresh_cursor": self.refresh_cursor,
+            "counts": {int(kind): n for kind, n in self.counts.items()},
+            "busy_reads": self.busy_reads,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.load_state_dict(bank_state)
+        self.cmd_bus_free = state["cmd_bus_free"]
+        self.act_history = deque(state["act_history"], maxlen=4)
+        self.last_act_time = state["last_act_time"]
+        self.last_rd_issue = state["last_rd_issue"]
+        self.last_wr_issue = state["last_wr_issue"]
+        self.ref_busy_until = state["ref_busy_until"]
+        self.refresh_cursor = state["refresh_cursor"]
+        self.counts = {
+            CommandKind(kind): n for kind, n in state["counts"].items()
+        }
+        self.busy_reads = state["busy_reads"]
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def open_buffer_cycles(self, now: int) -> int:

@@ -12,6 +12,7 @@ __all__ = [
     "DataIntegrityError",
     "CapacityError",
     "ConformanceError",
+    "SnapshotError",
 ]
 
 
@@ -65,3 +66,14 @@ class ConformanceError(ReproError):
     def __init__(self, violation) -> None:
         super().__init__(str(violation))
         self.violation = violation
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be written, read, or applied.
+
+    Raised by :mod:`repro.snapshot` for corrupt or truncated containers,
+    format-version mismatches, and system configurations that cannot be
+    serialized (functional cell arrays, command recorders, traces without
+    provenance). Configuration *incompatibility* between a snapshot and
+    the system restoring it raises :class:`ConfigError` instead.
+    """

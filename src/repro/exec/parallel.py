@@ -170,6 +170,80 @@ class ParallelCampaign:
         )
         return outcomes  # type: ignore[return-value]
 
+    def run_forked(
+        self,
+        specs,
+        warm_dir: "str | Path",
+        prewarm_accesses: int = 200_000,
+        _fn=execute_task,
+    ) -> "list[TaskOutcome]":
+        """Like :meth:`run`, but fork mechanism variants from warm images.
+
+        Cache-miss specs are grouped by warm-compatibility key — the
+        :func:`repro.snapshot.warmup_digest` of their config plus the
+        trace identity (kind, workloads, seed). Each group's functional
+        pre-warm runs **once** (serially, before the fan-out) and is
+        persisted as a warm image in ``warm_dir``; every member then
+        forks from that image instead of re-warming. A ``warm_fork``
+        journal event records the image, the build wall-clock and the
+        fork count. Groups of one spec with no pre-built image gain
+        nothing from forking and run cold. Results are byte-identical to
+        :meth:`run` either way.
+        """
+        import dataclasses
+        import hashlib
+        import json
+
+        from repro.snapshot.warm import build_warm_image, warmup_digest
+
+        specs = list(specs)
+        warm_dir = Path(warm_dir)
+        prepared: "list[TaskSpec]" = list(specs)
+        groups: "dict[str, tuple[Path, str, list[int]]]" = {}
+        for index, spec in enumerate(specs):
+            if self.campaign.load_cached(self._path(spec)) is not None:
+                continue  # run() serves it from cache; no warm-up needed
+            warm_digest = warmup_digest(spec.config)
+            key = json.dumps(
+                [warm_digest, spec.kind, list(spec.names), spec.seed,
+                 prewarm_accesses],
+                sort_keys=True,
+            )
+            if key not in groups:
+                name = hashlib.sha256(key.encode()).hexdigest()[:20]
+                groups[key] = (
+                    warm_dir / f"{name}.warm", warm_digest, []
+                )
+            groups[key][2].append(index)
+
+        for image, warm_digest, members in groups.values():
+            if not image.is_file() and len(members) < 2:
+                continue  # nothing shared to amortize: run cold
+            sample = specs[members[0]]
+            warm_s = 0.0
+            if not image.is_file():
+                started = time.monotonic()
+                build_warm_image(
+                    image, sample.names, sample.config, seed=sample.seed,
+                    kind=sample.kind, prewarm_accesses=prewarm_accesses,
+                )
+                warm_s = round(time.monotonic() - started, 3)
+            self._emit(
+                "warm_fork",
+                warm_digest=warm_digest,
+                image=str(image),
+                forks=len(members),
+                warm_s=warm_s,
+                kind=sample.kind,
+                workloads=list(sample.names),
+                seed=sample.seed,
+            )
+            for index in members:
+                prepared[index] = dataclasses.replace(
+                    specs[index], warm_image=str(image)
+                )
+        return self.run(prepared, _fn)
+
     def results(self, specs, _fn=execute_task) -> "list[SimResult]":
         """Like :meth:`run`, but unwrap results and fail loudly.
 

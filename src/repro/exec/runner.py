@@ -60,6 +60,31 @@ def _digest(spec) -> "str | None":
     return digest() if callable(digest) else None
 
 
+def _checkpoint_cycle(spec) -> "int | None":
+    """Cycle of the spec's on-disk checkpoint, if a readable one exists.
+
+    Used purely for observability (the ``task_resumed`` journal event);
+    the actual resume decision lives in ``TaskSpec.run`` so it holds for
+    any executor. Unreadable checkpoints report ``None`` — the run will
+    discard them and start over.
+    """
+    path_fn = getattr(spec, "checkpoint_path", None)
+    if not callable(path_fn):
+        return None
+    try:
+        path = path_fn()
+    except Exception:
+        return None
+    if path is None or not path.is_file():
+        return None
+    try:
+        from repro.snapshot import read_header
+
+        return read_header(path).get("cycle")
+    except Exception:
+        return None
+
+
 def _worker_main(conn, fn, spec) -> None:
     """Child-process entry: run the task, ship the verdict, exit."""
     try:
@@ -167,6 +192,13 @@ class ProcessPoolRunner:
         max_attempts = self.retries + 1
         for attempt in range(1, max_attempts + 1):
             self._emit("task_start", **self._task_fields(index, spec, attempt))
+            cycle = _checkpoint_cycle(spec)
+            if cycle is not None:
+                self._emit(
+                    "task_resumed",
+                    **self._task_fields(index, spec, attempt),
+                    checkpoint_cycle=cycle,
+                )
             started = time.monotonic()
             try:
                 result = fn(spec)
@@ -230,6 +262,9 @@ class ProcessPoolRunner:
             if ready is None:
                 break
             pending.remove(ready)
+            # Observe the checkpoint *before* the worker starts: the
+            # worker consumes (and eventually deletes) it.
+            cycle = _checkpoint_cycle(ready.spec)
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
             process = self._ctx.Process(
                 target=_worker_main,
@@ -250,6 +285,14 @@ class ProcessPoolRunner:
                 **self._task_fields(ready.index, ready.spec, ready.attempt),
                 worker_pid=process.pid,
             )
+            if cycle is not None:
+                self._emit(
+                    "task_resumed",
+                    **self._task_fields(
+                        ready.index, ready.spec, ready.attempt
+                    ),
+                    checkpoint_cycle=cycle,
+                )
             launched = True
         return launched
 

@@ -12,8 +12,9 @@ all agree on task identity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.sim.campaign import cache_filename, task_digest
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
@@ -35,6 +36,13 @@ class TaskSpec:
     instructions: int = 60_000
     warmup_instructions: int = 30_000
     seed: int = 0
+    # Snapshot plumbing. Deliberately excluded from digest()/the cache
+    # key: a warm-forked or checkpoint-resumed run produces the same
+    # SimResult bytes as a cold run of the same simulation inputs, so
+    # these fields change *how* a task executes, never *what* it is.
+    warm_image: "str | None" = None
+    checkpoint_dir: "str | None" = None
+    checkpoint_every: int = 50_000
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -46,6 +54,16 @@ class TaskSpec:
         if self.kind == "wl" and len(self.names) != 1:
             raise ConfigError("'wl' tasks take exactly one workload name")
         object.__setattr__(self, "names", tuple(self.names))
+        # Paths must be plain strings: specs are pickled across process
+        # boundaries and compared by value.
+        if self.warm_image is not None:
+            object.__setattr__(self, "warm_image", str(self.warm_image))
+        if self.checkpoint_dir is not None:
+            object.__setattr__(
+                self, "checkpoint_dir", str(self.checkpoint_dir)
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
 
     # -- constructors ---------------------------------------------------
 
@@ -57,6 +75,7 @@ class TaskSpec:
         instructions: int = 60_000,
         warmup_instructions: int = 30_000,
         seed: int = 0,
+        **snapshot_kwargs,
     ) -> "TaskSpec":
         """A single-core run (same semantics as sweep.run_workload)."""
         return cls(
@@ -66,6 +85,7 @@ class TaskSpec:
             instructions=instructions,
             warmup_instructions=warmup_instructions,
             seed=seed,
+            **snapshot_kwargs,
         )
 
     @classmethod
@@ -76,6 +96,7 @@ class TaskSpec:
         instructions: int = 40_000,
         warmup_instructions: int = 20_000,
         seed: int = 0,
+        **snapshot_kwargs,
     ) -> "TaskSpec":
         """A multiprogrammed run (same semantics as sweep.run_mix)."""
         return cls(
@@ -85,6 +106,7 @@ class TaskSpec:
             instructions=instructions,
             warmup_instructions=warmup_instructions,
             seed=seed,
+            **snapshot_kwargs,
         )
 
     # -- identity -------------------------------------------------------
@@ -109,25 +131,49 @@ class TaskSpec:
             self.warmup_instructions, self.seed,
         )
 
+    def checkpoint_path(self) -> "Path | None":
+        """Where this task's periodic checkpoint lives (digest-named)."""
+        if self.checkpoint_dir is None:
+            return None
+        return Path(self.checkpoint_dir) / f"{self.digest()}.ckpt"
+
     # -- execution ------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Execute the simulation this spec describes (deterministic)."""
+        """Execute the simulation this spec describes (deterministic).
+
+        With a ``checkpoint_dir``, a checkpoint left behind by an earlier
+        killed attempt is resumed instead of restarting from cycle 0;
+        unreadable or incompatible checkpoints are discarded and the run
+        starts over. Either way the result is byte-identical to an
+        uninterrupted run.
+        """
+        checkpoint = self.checkpoint_path()
+        if checkpoint is not None and checkpoint.is_file():
+            from repro.sim.system import System
+
+            try:
+                # Resume at *this spec's* cadence so the continued run
+                # keeps checkpointing (a second kill also resumes) and
+                # removes the file once it completes.
+                return System.resume(
+                    checkpoint, checkpoint_every=self.checkpoint_every
+                )
+            except ReproError:
+                checkpoint.unlink(missing_ok=True)
+        kwargs: dict = {
+            "config": self.config,
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "seed": self.seed,
+            "warm_image": self.warm_image,
+        }
+        if checkpoint is not None:
+            kwargs["checkpoint_path"] = checkpoint
+            kwargs["checkpoint_every"] = self.checkpoint_every
         if self.kind == "wl":
-            return run_workload(
-                self.names[0],
-                self.config,
-                instructions=self.instructions,
-                warmup_instructions=self.warmup_instructions,
-                seed=self.seed,
-            )
-        return run_mix(
-            list(self.names),
-            self.config,
-            instructions=self.instructions,
-            warmup_instructions=self.warmup_instructions,
-            seed=self.seed,
-        )
+            return run_workload(self.names[0], **kwargs)
+        return run_mix(list(self.names), **kwargs)
 
 
 def execute_task(spec: TaskSpec) -> SimResult:

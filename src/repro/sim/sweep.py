@@ -13,6 +13,7 @@ from dataclasses import replace
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.system import System
+from repro.trace.stream import TraceStream
 from repro.trace.workloads import Workload, workload as lookup_workload
 
 __all__ = ["run_workload", "run_mix", "alone_ipcs", "derive_trace_seed"]
@@ -20,6 +21,15 @@ __all__ = ["run_workload", "run_mix", "alone_ipcs", "derive_trace_seed"]
 
 def _resolve(w: "Workload | str") -> Workload:
     return lookup_workload(w) if isinstance(w, str) else w
+
+
+def _stream(w: "Workload | str", seed: int) -> TraceStream:
+    """A provenance-carrying trace stream for one workload (snapshot-ready)."""
+    resolved = _resolve(w)
+    return TraceStream(
+        getattr(resolved, "name", str(w)), seed,
+        _iterator=resolved.trace(seed),
+    )
 
 
 def derive_trace_seed(seed: int, core: int) -> int:
@@ -42,12 +52,30 @@ def run_workload(
     instructions: int = 60_000,
     warmup_instructions: int = 30_000,
     seed: int = 0,
+    warm_image=None,
+    checkpoint_path=None,
+    checkpoint_every: int = 50_000,
+    snapshot_at_cycle: "int | None" = None,
+    snapshot_path=None,
 ) -> SimResult:
-    """Run one workload on a single-core system."""
+    """Run one workload on a single-core system.
+
+    The snapshot keywords pass straight through to
+    :meth:`repro.sim.system.System.run` (warm-image adoption, periodic
+    resumable checkpoints, one-shot snapshots); all default to off.
+    """
     config = config if config is not None else SystemConfig()
     config = replace(config, cores=1)
-    system = System(config, [_resolve(w).trace(seed)])
-    return system.run(instructions, warmup_instructions)
+    system = System(config, [_stream(w, seed)])
+    return system.run(
+        instructions,
+        warmup_instructions,
+        warm_image=warm_image,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        snapshot_at_cycle=snapshot_at_cycle,
+        snapshot_path=snapshot_path,
+    )
 
 
 def run_mix(
@@ -56,16 +84,28 @@ def run_mix(
     instructions: int = 40_000,
     warmup_instructions: int = 20_000,
     seed: int = 0,
+    warm_image=None,
+    checkpoint_path=None,
+    checkpoint_every: int = 50_000,
+    snapshot_at_cycle: "int | None" = None,
+    snapshot_path=None,
 ) -> SimResult:
     """Run a multiprogrammed mix (one workload per core)."""
     config = config if config is not None else SystemConfig()
     config = replace(config, cores=len(mix))
     traces = [
-        _resolve(w).trace(derive_trace_seed(seed, i))
-        for i, w in enumerate(mix)
+        _stream(w, derive_trace_seed(seed, i)) for i, w in enumerate(mix)
     ]
     system = System(config, traces)
-    return system.run(instructions, warmup_instructions)
+    return system.run(
+        instructions,
+        warmup_instructions,
+        warm_image=warm_image,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        snapshot_at_cycle=snapshot_at_cycle,
+        snapshot_path=snapshot_path,
+    )
 
 
 def alone_ipcs(

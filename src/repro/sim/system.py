@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import gc
 import heapq
+from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.baselines import ChargeCache, IdealCrowCache, SalpMasa, TlDram
@@ -18,7 +19,7 @@ from repro.controller.mechanism import Mechanism, NoMechanism
 from repro.core import CrowCache, CrowCacheRef, CrowRef, RowHammerMitigation
 from repro.circuit import derive_crow_timing_factors
 from repro.cpu import Core, Llc, RptPrefetcher, VirtualMemory
-from repro.cpu.core import TraceRecord
+from repro.cpu.core import TraceRecord, _MemOp
 from repro.dram import (
     AddressMapper,
     CellArray,
@@ -28,9 +29,10 @@ from repro.dram import (
     TimingParameters,
 )
 from repro.energy import ChannelActivity, EnergyModel, IddCurrents
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, SnapshotError
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
+from repro.trace.stream import TraceStream
 
 __all__ = ["System"]
 
@@ -47,16 +49,26 @@ def _prefetch_disabled(core_id: int, pc: int, vaddr: int, now: int) -> None:
 
 
 class _EventQueue:
-    """Timestamped callback heap (completion events, etc.)."""
+    """Timestamped callback heap (completion events, etc.).
+
+    Callbacks receive their own scheduled time — every event in this
+    simulator is a completion firing *at* its finish cycle, so passing
+    the timestamp back removes the need for per-event closures (which a
+    snapshot could not serialize; see :mod:`repro.snapshot`). The heap
+    therefore only ever holds three callable shapes: a
+    :class:`repro.cpu.core._MemOp`, a
+    :class:`repro.controller.request.MemRequest`, or the telemetry
+    epoch sampler bound method.
+    """
 
     __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
         self._seq = 0
 
-    def schedule(self, time: int, fn: Callable[[], None]) -> None:
-        """Enqueue ``fn`` to run at ``time``."""
+    def schedule(self, time: int, fn: Callable[[int], None]) -> None:
+        """Enqueue ``fn`` to run at ``time`` (called as ``fn(time)``)."""
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, fn))
 
@@ -68,8 +80,37 @@ class _EventQueue:
         """Fire every event scheduled at or before ``now``."""
         heap = self._heap
         while heap and heap[0][0] <= now:
-            _, _, fn = heapq.heappop(heap)
-            fn()
+            when, _, fn = heapq.heappop(heap)
+            fn(when)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self, encode_event) -> dict:
+        """Pending events with their exact (time, seq) ordering keys.
+
+        ``encode_event`` maps each callable to a value encoding (the
+        System owns the mapping: window refs, request state, epoch tag).
+        The heap is stored sorted — sorting only compares the unique
+        ``(time, seq)`` prefix, and a sorted list is a valid heap.
+        """
+        return {
+            "heap": [
+                (time, seq, encode_event(fn))
+                for time, seq, fn in sorted(
+                    self._heap, key=lambda event: (event[0], event[1])
+                )
+            ],
+            "seq": self._seq,
+        }
+
+    def load_state_dict(self, state: dict, decode_event) -> None:
+        self._heap = [
+            (time, seq, decode_event(encoded))
+            for time, seq, encoded in state["heap"]
+        ]
+        heapq.heapify(self._heap)
+        self._seq = state["seq"]
 
 
 class MemoryPort:
@@ -127,7 +168,7 @@ class MemoryPort:
             if was_prefetched and system.prefetchers:
                 system.prefetchers[core_id].useful += 1
             finish = now + system.llc.config.hit_latency
-            system.events.schedule(finish, lambda: on_complete(finish))
+            system.events.schedule(finish, on_complete)
             self.demand_accesses_per_core[core_id] += 1
             self._maybe_prefetch(core_id, pc, vaddr, now)
             return "hit"
@@ -158,20 +199,13 @@ class MemoryPort:
         _, writeback, _ = system.llc.access(line, is_write)
         if writeback is not None:
             self._post_writeback(writeback, now)
-        entry: list = [False, on_complete]
-        self._outstanding[line] = entry
-
-        def fill_done(request: MemRequest, finish: int) -> None:
-            del self._outstanding[line]
-            for waiter in entry[1:]:
-                waiter(finish)
-
+        self._outstanding[line] = [False, on_complete]
         request = MemRequest(
             RequestType.READ,
             line,
             system.mapper.decode(line),
             core_id=core_id,
-            callback=fill_done,
+            callback=self._fill_done,
         )
         accepted = controller.enqueue(request, now)
         assert accepted
@@ -182,6 +216,24 @@ class MemoryPort:
         return "miss"
 
     # ------------------------------------------------------------------
+    def _fill_done(self, request: MemRequest, finish: int) -> None:
+        """Completion callback for every fill this port issued.
+
+        A bound method (not a per-miss closure) so snapshots can encode
+        it by name. The fill's nature is carried by the request itself:
+        prefetch fills allocate at completion time and may evict a dirty
+        victim; demand fills allocated at issue time. The outstanding
+        entry's waiters are demand completions merged onto the fill.
+        """
+        line = request.address
+        entry = self._outstanding.pop(line)
+        if request.is_prefetch:
+            writeback = self.system.llc.fill_prefetch(line)
+            if writeback is not None:
+                self._post_writeback(writeback, finish)
+        for waiter in entry[1:]:
+            waiter(finish)
+
     def _post_writeback(self, address: int, now: int) -> None:
         """Post a dirty eviction to its channel's write queue.
 
@@ -212,25 +264,13 @@ class MemoryPort:
             controller = system.controller_for(line)
             if not controller.can_accept(RequestType.READ):
                 continue
-            entry: list = [True]
-            self._outstanding[line] = entry
-
-            def prefetch_done(
-                request: MemRequest, finish: int, line=line, entry=entry
-            ) -> None:
-                del self._outstanding[line]
-                writeback = system.llc.fill_prefetch(line)
-                if writeback is not None:
-                    self._post_writeback(writeback, finish)
-                for waiter in entry[1:]:
-                    waiter(finish)
-
+            self._outstanding[line] = [True]
             request = MemRequest(
                 RequestType.READ,
                 line,
                 system.mapper.decode(line),
                 core_id=core_id,
-                callback=prefetch_done,
+                callback=self._fill_done,
                 is_prefetch=True,
             )
             controller.enqueue(request, now)
@@ -240,6 +280,38 @@ class MemoryPort:
         """Zero statistics at the warm-up boundary."""
         self.demand_misses_per_core = [0] * self.system.config.cores
         self.demand_accesses_per_core = [0] * self.system.config.cores
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self, encode_op) -> dict:
+        """Outstanding fills (with waiter refs) and per-core counters.
+
+        ``encode_op`` maps each waiter ``_MemOp`` to a value encoding
+        that preserves aliasing with the owning core's window (the same
+        op object can sit in a window *and* on a waiter list, and its
+        ``done`` flag must stay shared after a restore).
+        """
+        return {
+            "outstanding": [
+                (line, entry[0], [encode_op(op) for op in entry[1:]])
+                for line, entry in self._outstanding.items()
+            ],
+            "demand_misses_per_core": list(self.demand_misses_per_core),
+            "demand_accesses_per_core": list(self.demand_accesses_per_core),
+            "dropped_writebacks": self.dropped_writebacks,
+        }
+
+    def load_state_dict(self, state: dict, decode_op) -> None:
+        self._outstanding = {
+            line: [was_prefetch, *(decode_op(tag) for tag in waiters)]
+            for line, was_prefetch, waiters in state["outstanding"]
+        }
+        self.demand_misses_per_core = list(state["demand_misses_per_core"])
+        self.demand_accesses_per_core = list(
+            state["demand_accesses_per_core"]
+        )
+        self.dropped_writebacks = state["dropped_writebacks"]
 
 
 class System:
@@ -617,7 +689,13 @@ class System:
         while remaining:
             n = min(chunk, remaining)
             remaining -= n
-            batches = [list(islice(trace, n)) for _, _, trace in streams]
+            # TraceStream exposes take() so its consumed count stays exact
+            # without paying a Python-level __next__ per record here.
+            batches = [
+                take(n) if (take := getattr(trace, "take", None)) is not None
+                else list(islice(trace, n))
+                for _, _, trace in streams
+            ]
             if not any(batches):
                 break
             if len(batches) == 1:
@@ -656,6 +734,11 @@ class System:
         warmup_instructions: int = 20_000,
         max_cycles: int | None = None,
         prewarm_accesses: int = 200_000,
+        warm_image: "str | Path | None" = None,
+        checkpoint_path: "str | Path | None" = None,
+        checkpoint_every: int = 50_000,
+        snapshot_at_cycle: int | None = None,
+        snapshot_path: "str | Path | None" = None,
     ) -> SimResult:
         """Warm up, measure, and return the result.
 
@@ -664,9 +747,27 @@ class System:
         ``warmup_instructions`` per core); then statistics reset and each
         core runs for ``instructions`` more; the simulation stops when
         every core has retired its measured quota.
+
+        Snapshot hooks (all zero-cost when left at their defaults — the
+        hot loop pays one ``is not None`` test per feature per step):
+
+        - ``warm_image``: load a pre-built functional warm image
+          (:meth:`save_warm_image`) instead of running ``prewarm``.
+        - ``checkpoint_path`` / ``checkpoint_every``: periodically save a
+          resumable checkpoint (:meth:`System.resume` continues it); the
+          checkpoint is deleted when the run completes.
+        - ``snapshot_at_cycle`` / ``snapshot_path``: save one resumable
+          snapshot the first time the clock reaches the given cycle, and
+          keep it (restore-equivalence testing).
         """
         if instructions < 1 or warmup_instructions < 0:
             raise ConfigError("invalid instruction counts")
+        if checkpoint_path is not None and checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        if (snapshot_at_cycle is None) != (snapshot_path is None):
+            raise ConfigError(
+                "snapshot_at_cycle and snapshot_path must be given together"
+            )
         # The generational GC costs ~25% of a run: the hot loops allocate
         # short-lived tuples (trace records, commands, events) fast enough
         # to trigger a gen-0 collection every few hundred steps, and each
@@ -677,8 +778,64 @@ class System:
         if gc_was_enabled:
             gc.disable()
         try:
-            if prewarm_accesses:
+            if warm_image is not None:
+                self.load_warm_image(warm_image, prewarm_accesses)
+            elif prewarm_accesses:
                 self.prewarm(prewarm_accesses)
+            return self._run_to_completion(
+                instructions,
+                warmup_instructions,
+                max_cycles,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                snapshot_at_cycle=snapshot_at_cycle,
+                snapshot_path=snapshot_path,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_to_completion(
+        self,
+        instructions: int,
+        warmup_instructions: int,
+        max_cycles: int | None,
+        checkpoint_path: "str | Path | None" = None,
+        checkpoint_every: int = 50_000,
+        snapshot_at_cycle: int | None = None,
+        snapshot_path: "str | Path | None" = None,
+    ) -> SimResult:
+        """Drive the timed loops from the current state to the result.
+
+        Shared by fresh runs and resumed checkpoints: the phase is
+        derived from the state itself (``_measure_start is None`` means
+        the warm-up loop still has work), so restoring a checkpoint and
+        calling this produces the exact step sequence of the original
+        run. Snapshots are only ever taken *between* ``_step()`` calls,
+        where every component invariant holds.
+
+        With both snapshot features off the loops below are the exact
+        seed hot loops — the feature test happens once out here, not per
+        step, so disabled snapshotting is literally zero-cost (the
+        perf-regression gate enforces this).
+        """
+        snapshotting = (
+            checkpoint_path is not None or snapshot_at_cycle is not None
+        )
+        run_state = None
+        next_checkpoint = 0
+        if snapshotting:
+            run_state = {
+                "instructions": instructions,
+                "warmup_instructions": warmup_instructions,
+                "max_cycles": max_cycles,
+                "checkpoint_every": (
+                    checkpoint_every if checkpoint_path is not None else None
+                ),
+            }
+        if checkpoint_path is not None:
+            next_checkpoint = self.now + checkpoint_every
+        if self._measure_start is None:
             # Phase 1: warm-up.
             while any(
                 core.retired < warmup_instructions for core in self.cores
@@ -686,16 +843,47 @@ class System:
                 self._step()
                 if max_cycles is not None and self.now > max_cycles:
                     raise ReproError("warm-up exceeded max_cycles")
+                if snapshotting:
+                    if (checkpoint_path is not None
+                            and self.now >= next_checkpoint):
+                        self.save_snapshot(
+                            checkpoint_path, run_state=run_state
+                        )
+                        next_checkpoint = self.now + checkpoint_every
+                    if (snapshot_at_cycle is not None
+                            and self.now >= snapshot_at_cycle):
+                        self.save_snapshot(
+                            snapshot_path, run_state=run_state
+                        )
+                        snapshot_at_cycle = None
             self._begin_measurement(instructions)
-            # Phase 2: measurement.
+        if snapshotting:
+            # Phase 2, instrumented: checkpoint/snapshot between steps.
             while not all(core.done for core in self.cores):
                 self._step()
                 if max_cycles is not None and self.now > max_cycles:
                     raise ReproError("measurement exceeded max_cycles")
-            return self._collect(instructions)
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+                if (checkpoint_path is not None
+                        and self.now >= next_checkpoint):
+                    self.save_snapshot(checkpoint_path, run_state=run_state)
+                    next_checkpoint = self.now + checkpoint_every
+                if (snapshot_at_cycle is not None
+                        and self.now >= snapshot_at_cycle):
+                    self.save_snapshot(snapshot_path, run_state=run_state)
+                    snapshot_at_cycle = None
+        else:
+            # Phase 2, bare: the seed measurement loop, untouched.
+            while not all(core.done for core in self.cores):
+                self._step()
+                if max_cycles is not None and self.now > max_cycles:
+                    raise ReproError("measurement exceeded max_cycles")
+        result = self._collect(instructions)
+        if checkpoint_path is not None:
+            # The run completed: a leftover checkpoint would make a later
+            # identical run resume from mid-flight state instead of
+            # recomputing (correct but surprising) — remove it.
+            Path(checkpoint_path).unlink(missing_ok=True)
+        return result
 
     def _begin_measurement(self, instructions: int) -> None:
         self._measure_start = self.now
@@ -772,6 +960,377 @@ class System:
                 else None
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def _snapshot_guard(self) -> None:
+        """Reject configurations whose state cannot be serialized."""
+        if self.config.functional_cells:
+            raise SnapshotError(
+                "functional cell arrays are not snapshot-serializable; "
+                "run with functional_cells=False to checkpoint"
+            )
+        if self.config.record_commands:
+            raise SnapshotError(
+                "command recorders are not snapshot-serializable; run "
+                "with record_commands=False to checkpoint"
+            )
+        for core in self.cores:
+            if not isinstance(core.trace, TraceStream):
+                raise SnapshotError(
+                    f"core {core.core_id} trace has no provenance (got "
+                    f"{type(core.trace).__name__}); snapshots need "
+                    "repro.trace.TraceStream traces (run_workload/run_mix "
+                    "build these automatically)"
+                )
+
+    def _callback_tag(self, callback) -> str | None:
+        """Symbolic name for a request completion callback."""
+        if callback is None:
+            return None
+        if callback == self.port._fill_done:
+            return "fill"
+        raise SnapshotError(
+            f"unserializable request callback {callback!r}"
+        )
+
+    def _resolve_callback(self, tag: str | None):
+        if tag is None:
+            return None
+        if tag == "fill":
+            return self.port._fill_done
+        raise SnapshotError(f"unknown request callback tag {tag!r}")
+
+    def state_dict(self) -> dict:
+        """Complete mutable simulation state as plain value data.
+
+        In-flight ``_MemOp`` completions are encoded by *reference* when
+        they alias a core's instruction window — ``("win", core, index)``
+        — and by value otherwise (``"free"``: store completions, which
+        never enter a window). In-flight ``MemRequest`` events encode as
+        ``("req", state)`` with a symbolic callback tag, and the pending
+        telemetry epoch sample as ``("epoch",)``. A request is never
+        simultaneously queued in a controller and scheduled on the event
+        heap, and an op is never on the heap and a waiter list at once,
+        so these encodings cover every aliasing pattern that exists.
+        """
+        window_map: dict[int, tuple] = {}
+        for core in self.cores:
+            for index, entry in enumerate(core._window):
+                if isinstance(entry, _MemOp):
+                    window_map[id(entry)] = ("win", core.core_id, index)
+
+        def encode_op(op: _MemOp) -> tuple:
+            tagged = window_map.get(id(op))
+            if tagged is not None:
+                return tagged
+            return (
+                "free", op.core.core_id, op.is_store, op.counts_mshr,
+                op.done,
+            )
+
+        def encode_request(request: MemRequest) -> dict:
+            return request.state_dict(self._callback_tag(request.callback))
+
+        def encode_event(fn) -> tuple:
+            if isinstance(fn, _MemOp):
+                return encode_op(fn)
+            if isinstance(fn, MemRequest):
+                return ("req", encode_request(fn))
+            if self.telemetry is not None and fn == self.telemetry._on_epoch:
+                return ("epoch",)
+            raise SnapshotError(
+                f"event heap holds an unserializable callback {fn!r}"
+            )
+
+        return {
+            "now": self.now,
+            "measure_start": self._measure_start,
+            "cores": [core.state_dict() for core in self.cores],
+            "channels": [channel.state_dict() for channel in self.channels],
+            "controllers": [
+                controller.state_dict(encode_request)
+                for controller in self.controllers
+            ],
+            "controller_wakes": [c.next_wake for c in self.controllers],
+            "llc": self.llc.state_dict(),
+            "vm": self.vm.state_dict(),
+            "prefetchers": [p.state_dict() for p in self.prefetchers],
+            "port": self.port.state_dict(encode_op),
+            "events": self.events.state_dict(encode_event),
+            "telemetry": (
+                self.telemetry.state_dict()
+                if self.telemetry is not None
+                else None
+            ),
+            "checkers": [checker.state_dict() for checker in self.checkers],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Overwrite this (freshly constructed) system's mutable state.
+
+        Cores load first so the instruction windows exist before heap and
+        waiter-list references into them are decoded.
+        """
+        self.now = state["now"]
+        self._measure_start = state["measure_start"]
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.load_state_dict(core_state)
+
+        def decode_op(tag: tuple) -> _MemOp:
+            if tag[0] == "win":
+                return self.cores[tag[1]].window_op(tag[2])
+            _, core_id, is_store, counts_mshr, done = tag
+            op = _MemOp(self.cores[core_id], is_store=is_store)
+            op.counts_mshr = counts_mshr
+            op.done = done
+            return op
+
+        def decode_request(request_state: dict) -> MemRequest:
+            return MemRequest.from_state_dict(
+                request_state,
+                self.mapper.decode(request_state["address"]),
+                self._resolve_callback(request_state["callback"]),
+            )
+
+        def decode_event(tag: tuple):
+            kind = tag[0]
+            if kind in ("win", "free"):
+                return decode_op(tag)
+            if kind == "req":
+                return decode_request(tag[1])
+            if kind == "epoch":
+                if self.telemetry is None:
+                    raise SnapshotError(
+                        "snapshot holds a telemetry epoch event but this "
+                        "system has telemetry disabled"
+                    )
+                return self.telemetry._on_epoch
+            raise SnapshotError(f"unknown event encoding {kind!r}")
+
+        for channel, channel_state in zip(self.channels, state["channels"]):
+            channel.load_state_dict(channel_state)
+        for controller, controller_state, wake in zip(
+            self.controllers, state["controllers"], state["controller_wakes"]
+        ):
+            controller.load_state_dict(controller_state, decode_request)
+            controller.next_wake = wake
+        self.llc.load_state_dict(state["llc"])
+        self.vm.load_state_dict(state["vm"])
+        for prefetcher, prefetcher_state in zip(
+            self.prefetchers, state["prefetchers"]
+        ):
+            prefetcher.load_state_dict(prefetcher_state)
+        self.port.load_state_dict(state["port"], decode_op)
+        self.events.load_state_dict(state["events"], decode_event)
+        if state["telemetry"] is not None:
+            if self.telemetry is None:
+                raise SnapshotError(
+                    "snapshot holds telemetry state but this system has "
+                    "telemetry disabled"
+                )
+            self.telemetry.load_state_dict(state["telemetry"])
+        for checker, checker_state in zip(self.checkers, state["checkers"]):
+            checker.load_state_dict(checker_state)
+
+    def save_snapshot(
+        self, path: "str | Path", run_state: dict | None = None
+    ) -> None:
+        """Write a full, versioned, digest-stamped snapshot of this system.
+
+        ``run_state`` (the loop parameters of an in-flight :meth:`run`)
+        makes the snapshot *resumable*: :meth:`resume` continues it to a
+        result whose telemetry digest is byte-identical to the
+        uninterrupted run's.
+        """
+        self._snapshot_guard()
+        from repro.sim.campaign import config_digest
+        from repro.snapshot.container import write_snapshot
+
+        header = {
+            "kind": "full",
+            "config_digest": config_digest(self.config),
+            "mechanism": self.config.mechanism,
+            "cores": self.config.cores,
+            "cycle": self.now,
+            "phase": "warmup" if self._measure_start is None else "measure",
+            "workloads": [core.trace.workload_name for core in self.cores],
+            "seeds": [core.trace.seed for core in self.cores],
+            "resumable": run_state is not None,
+        }
+        payload = {
+            "config": self.config,
+            "state": self.state_dict(),
+            "run": run_state,
+        }
+        write_snapshot(path, header, payload)
+
+    @classmethod
+    def _restore_with_run(
+        cls, path: "str | Path", config: SystemConfig | None = None
+    ) -> "tuple[System, dict | None]":
+        from repro.sim.campaign import config_digest
+        from repro.snapshot.container import read_snapshot
+
+        header, payload = read_snapshot(path)
+        if header.get("kind") != "full":
+            raise SnapshotError(
+                f"{path}: expected a full snapshot, got kind "
+                f"{header.get('kind')!r} (warm images restore via "
+                "load_warm_image)"
+            )
+        saved_config = payload["config"]
+        if config is not None:
+            expected = config_digest(config)
+            if expected != header["config_digest"]:
+                raise ConfigError(
+                    f"snapshot {path} was taken under config digest "
+                    f"{header['config_digest']} (mechanism "
+                    f"{header.get('mechanism')!r}) but restore expected "
+                    f"digest {expected} (mechanism {config.mechanism!r})"
+                )
+        state = payload["state"]
+        traces = [
+            TraceStream(
+                core_state["trace"]["workload"], core_state["trace"]["seed"]
+            )
+            for core_state in state["cores"]
+        ]
+        system = cls(saved_config, traces)
+        system.load_state_dict(state)
+        return system, payload.get("run")
+
+    @classmethod
+    def restore(
+        cls, path: "str | Path", config: SystemConfig | None = None
+    ) -> "System":
+        """Rebuild a system from a full snapshot.
+
+        Construction re-runs deterministically from the embedded config
+        (geometry, retention profiling, boot-time remaps), then the saved
+        state overwrites everything mutable. Passing ``config`` asserts
+        the snapshot is compatible with it (:class:`ConfigError` if not).
+        """
+        system, _ = cls._restore_with_run(path, config)
+        return system
+
+    @classmethod
+    def resume(
+        cls, path: "str | Path", checkpoint_every: int | None = None
+    ) -> SimResult:
+        """Continue a checkpointed run to completion.
+
+        The snapshot must have been written by a checkpointing
+        :meth:`run` (it carries the loop parameters). Checkpointing
+        continues into the same file — at the saved cadence, or at
+        ``checkpoint_every`` if given — and the file is removed when the
+        run completes.
+        """
+        system, run_state = cls._restore_with_run(path)
+        if run_state is None:
+            raise SnapshotError(
+                f"{path}: snapshot carries no run state and cannot be "
+                "resumed (it was saved outside a checkpointing run)"
+            )
+        if checkpoint_every is None:
+            checkpoint_every = run_state.get("checkpoint_every")
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return system._run_to_completion(
+                run_state["instructions"],
+                run_state["warmup_instructions"],
+                run_state["max_cycles"],
+                checkpoint_path=path if checkpoint_every else None,
+                checkpoint_every=checkpoint_every or 50_000,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    # -- warm-state forking ---------------------------------------------
+    def save_warm_image(
+        self, path: "str | Path", prewarm_accesses: int | None = None
+    ) -> None:
+        """Persist the functional pre-warm state (LLC, VM, trace cursors).
+
+        Must be called right after :meth:`prewarm`, before any timed
+        stepping — warm images deliberately omit timing/mechanism state
+        so one image can seed every mechanism variant that shares the
+        same :func:`repro.snapshot.warmup_digest`.
+        """
+        self._snapshot_guard()
+        if self.now != 0 or self._measure_start is not None:
+            raise SnapshotError(
+                "warm images must be saved before timed simulation starts"
+            )
+        from repro.snapshot.container import write_snapshot
+        from repro.snapshot.warm import warmup_digest
+
+        header = {
+            "kind": "warm",
+            "warmup_digest": warmup_digest(self.config),
+            "cores": self.config.cores,
+            "workloads": [core.trace.workload_name for core in self.cores],
+            "seeds": [core.trace.seed for core in self.cores],
+            "prewarm_accesses": prewarm_accesses,
+        }
+        payload = {
+            "llc": self.llc.state_dict(),
+            "vm": self.vm.state_dict(),
+            "traces": [core.trace.state_dict() for core in self.cores],
+        }
+        write_snapshot(path, header, payload)
+
+    def load_warm_image(
+        self, path: "str | Path", prewarm_accesses: int | None = None
+    ) -> None:
+        """Adopt a pre-built warm image instead of running ``prewarm``.
+
+        Compatibility is enforced twice: the warm digest must match this
+        system's configuration, and each trace stream validates its own
+        workload/seed identity when the cursor state loads. Both
+        mismatches raise :class:`ConfigError`.
+        """
+        self._snapshot_guard()
+        if self.now != 0 or self._measure_start is not None:
+            raise SnapshotError(
+                "warm images must be loaded before timed simulation starts"
+            )
+        from repro.snapshot.container import read_snapshot
+        from repro.snapshot.warm import warmup_digest
+
+        header, payload = read_snapshot(path)
+        if header.get("kind") != "warm":
+            raise SnapshotError(
+                f"{path}: expected a warm image, got kind "
+                f"{header.get('kind')!r}"
+            )
+        expected = warmup_digest(self.config)
+        if header["warmup_digest"] != expected:
+            raise ConfigError(
+                f"warm image {path} is incompatible with this "
+                f"configuration (warm digest {header['warmup_digest']} != "
+                f"{expected}); rebuild the image or align the shared "
+                "config prefix (cores, seed, LLC, geometry)"
+            )
+        saved_accesses = header.get("prewarm_accesses")
+        if (
+            prewarm_accesses is not None
+            and saved_accesses is not None
+            and saved_accesses != prewarm_accesses
+        ):
+            raise ConfigError(
+                f"warm image {path} was built with "
+                f"{saved_accesses} pre-warm accesses per core, but this "
+                f"run expects {prewarm_accesses}"
+            )
+        self.llc.load_state_dict(payload["llc"])
+        self.vm.load_state_dict(payload["vm"])
+        for core, trace_state in zip(self.cores, payload["traces"]):
+            core.trace.load_state_dict(trace_state)
 
 
 class _PeekableLlc(Llc):

@@ -25,8 +25,10 @@ from repro.trace.workloads import (
     workloads_by_class,
 )
 from repro.trace.mixes import MIX_GROUPS, build_mix, build_mix_group
+from repro.trace.stream import TraceStream
 
 __all__ = [
+    "TraceStream",
     "streaming_trace",
     "random_trace",
     "strided_trace",

@@ -1,0 +1,105 @@
+"""Resumable trace streams with provenance.
+
+:class:`TraceStream` wraps a workload's trace iterator with the three
+facts a snapshot needs to rebuild it — the workload name, the seed, and
+how many records have been consumed. Restoring replays the (cheap,
+deterministic) synthetic generator and fast-forwards past the consumed
+prefix at C speed, so the snapshot itself never stores trace records.
+
+``System`` still accepts plain iterators; only snapshotting requires the
+provenance this wrapper carries (``save_snapshot`` raises a structured
+error otherwise). ``run_workload``/``run_mix`` and the check scenarios
+construct :class:`TraceStream` objects so every supported entry point is
+snapshot-ready by default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Iterator
+
+from repro.cpu.core import TraceRecord
+from repro.errors import ConfigError
+
+__all__ = ["TraceStream"]
+
+
+class TraceStream:
+    """A workload trace iterator that knows how to rebuild itself.
+
+    Iteration protocol matches the raw generator (``next()`` yields
+    :class:`~repro.cpu.core.TraceRecord`); :meth:`take` exists so bulk
+    consumers (``System.prewarm``) keep their C-level ``islice`` speed
+    while the consumed count stays exact.
+    """
+
+    __slots__ = ("workload_name", "seed", "consumed", "_it")
+
+    def __init__(
+        self,
+        workload_name: str,
+        seed: int,
+        _iterator: Iterator[TraceRecord] | None = None,
+    ) -> None:
+        self.workload_name = workload_name
+        self.seed = seed
+        self.consumed = 0
+        if _iterator is None:
+            from repro.trace.workloads import workload
+
+            _iterator = workload(workload_name).trace(seed)
+        self._it = _iterator
+
+    def __iter__(self) -> "TraceStream":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        record = next(self._it)
+        self.consumed += 1
+        return record
+
+    def take(self, n: int) -> list[TraceRecord]:
+        """Up to ``n`` records as a list (bulk-path for prewarm)."""
+        batch = list(islice(self._it, n))
+        self.consumed += len(batch)
+        return batch
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "workload": self.workload_name,
+            "seed": self.seed,
+            "consumed": self.consumed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the generator and fast-forward past the consumed prefix."""
+        if state["workload"] != self.workload_name or state["seed"] != self.seed:
+            raise ConfigError(
+                f"trace stream mismatch: snapshot holds "
+                f"{state['workload']!r} seed {state['seed']}, stream is "
+                f"{self.workload_name!r} seed {self.seed}"
+            )
+        from repro.trace.workloads import workload
+
+        self._it = workload(self.workload_name).trace(self.seed)
+        consumed = state["consumed"]
+        if consumed:
+            # Exhaust-into-a-zero-length deque: C-speed fast-forward.
+            deque(islice(self._it, consumed), maxlen=0)
+        self.consumed = consumed
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "TraceStream":
+        stream = cls(state["workload"], state["seed"])
+        stream.load_state_dict(state)
+        return stream
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceStream({self.workload_name!r}, seed={self.seed}, "
+            f"consumed={self.consumed})"
+        )

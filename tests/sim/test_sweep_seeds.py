@@ -44,7 +44,7 @@ class _StubSystem:
     def __init__(self, config, traces):
         self.traces = traces
 
-    def run(self, instructions, warmup_instructions):
+    def run(self, instructions, warmup_instructions, **snapshot_kwargs):
         return "stub-result"
 
 
