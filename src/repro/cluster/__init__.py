@@ -1,0 +1,68 @@
+"""Distributed campaign service: shard task matrices across hosts.
+
+``repro.cluster`` promotes :mod:`repro.exec` from a single-host process
+pool to a coordinator/worker fleet, without giving up the properties the
+rest of the repo is built on — content-addressed tasks, byte-identical
+results regardless of scheduling, journal-durable state, crash recovery
+from checkpoints:
+
+* :mod:`~repro.cluster.protocol` — length-prefixed JSON frames over
+  plain asyncio streams (stdlib only, no new dependencies);
+* :mod:`~repro.cluster.state` — the coordinator's lease table and task
+  ledger, every transition journaled, rebuildable by journal replay;
+* :mod:`~repro.cluster.coordinator` — the asyncio lease server, store
+  authority and fleet-status endpoint;
+* :mod:`~repro.cluster.worker` — pull-based (work-stealing) workers
+  executing specs via :class:`~repro.exec.runner.ProcessPoolRunner`
+  with per-task checkpoints and heartbeat progress frames;
+* :mod:`~repro.cluster.store` — the content-addressed result + warm-
+  image store, byte-compatible with the serial ``Campaign`` cache, with
+  telemetry-digest conflict detection and single-flight claims;
+* :mod:`~repro.cluster.fleet` — live fleet telemetry for
+  ``python -m repro cluster status``.
+
+Quickstart (one coordinator + two workers on localhost)::
+
+    # terminal 1 — coordinator owning the campaign
+    python -m repro cluster serve libq mcf \\
+        --mechanisms baseline crow-cache --telemetry \\
+        --store /tmp/fleet-store --journal /tmp/fleet.jsonl \\
+        --port 7421 --exit-when-done
+
+    # terminals 2+3 — workers (any host that can reach the coordinator)
+    python -m repro cluster work --connect localhost:7421 \\
+        --store /tmp/worker-a
+    python -m repro cluster work --connect localhost:7421 \\
+        --store /tmp/worker-b
+
+    # anywhere — live fleet telemetry
+    python -m repro cluster status --connect localhost:7421
+
+Determinism contract: a cluster campaign produces exactly the telemetry
+digests and cache bytes of a serial :class:`~repro.sim.campaign.Campaign`
+over the same specs — scheduling, worker deaths, lease steals and
+coordinator restarts can change wall-clock, never values; the store
+raises :class:`~repro.errors.StoreMismatchError` the moment that
+contract is broken.
+
+Trust model: frames carry pickled task specs and results, so a
+coordinator must only be exposed to hosts you would run the simulation
+on directly (a lab LAN, not the internet).
+"""
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.fleet import FleetStatus, fetch_status, get_status
+from repro.cluster.state import CampaignState
+from repro.cluster.store import ResultStore, StoreClaim
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "CampaignState",
+    "Coordinator",
+    "ClusterWorker",
+    "ResultStore",
+    "StoreClaim",
+    "FleetStatus",
+    "fetch_status",
+    "get_status",
+]

@@ -1,0 +1,335 @@
+"""The campaign coordinator: lease server, store authority, journal.
+
+An asyncio TCP server (plain streams, stdlib only) that owns one
+campaign's :class:`~repro.cluster.state.CampaignState` and
+:class:`~repro.cluster.store.ResultStore`. Workers *pull* leases
+(work-stealing), stream heartbeats while simulating, and deliver results
+as pickled payloads; the coordinator cross-checks every delivery against
+any cached copy before acknowledging, journals every transition through
+the :class:`~repro.exec.journal.RunJournal`, and revokes leases whose
+heartbeats go stale so a SIGKILLed worker's tasks are re-leased to the
+survivors.
+
+Crash recovery is journal replay: restart the coordinator with the same
+journal path and it rebuilds the done/pending ledger from the event
+stream (see :meth:`CampaignState.replay`), re-queues everything that was
+in flight, and re-marks tasks whose results already sit in the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.cluster.protocol import (
+    pack_bytes,
+    read_frame,
+    send_frame,
+    unpack_bytes,
+)
+from repro.cluster.state import DONE, PENDING, CampaignState
+from repro.cluster.store import ResultStore
+from repro.errors import ClusterError, StoreMismatchError
+from repro.exec.task import TaskSpec
+
+__all__ = ["Coordinator"]
+
+#: How long, after the campaign finishes, the server keeps answering so
+#: idle workers can pull their ``drained`` notice before the socket goes.
+_DRAIN_GRACE_S = 2.0
+
+
+class Coordinator:
+    """Serve one campaign's task DAG to a fleet of pull-based workers.
+
+    :param state: the campaign ledger (fresh, or rebuilt via replay).
+    :param store: result + warm-image store this coordinator answers
+        ``store_get`` fetches from and persists deliveries into.
+    :param exit_when_done: stop serving once every task is terminal
+        (after a short drain grace); otherwise serve until cancelled.
+    """
+
+    def __init__(
+        self,
+        state: CampaignState,
+        store: ResultStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        exit_when_done: bool = False,
+        journal=None,
+    ) -> None:
+        self.state = state
+        self.store = store
+        self.host = host
+        self.port = port
+        self.exit_when_done = exit_when_done
+        self.journal = journal if journal is not None else state.journal
+        self.done = asyncio.Event()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._expiry_task: "asyncio.Task | None" = None
+
+    # -- journal ---------------------------------------------------------
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal(event, fields)
+
+    # -- startup helpers --------------------------------------------------
+
+    def prune_against_store(self) -> int:
+        """Mark pending tasks whose results the store already holds.
+
+        Run once at startup (fresh or replayed): a journal may claim a
+        task is pending while a previous fleet already computed it, and
+        vice versa — a journal ``cluster_task_done`` with no store entry
+        must *not* stand, so replayed done-marks are also verified here.
+        """
+        pruned = 0
+        for entry in self.state.tasks.values():
+            spec = TaskSpec.from_wire(entry.wire)
+            result = self.store.get_result(spec)
+            if result is None:
+                if entry.state == DONE:
+                    # Journal says done but the bytes are gone: recompute.
+                    entry.state = PENDING
+                    self.state.queue.append(entry.digest)
+                    self._emit(
+                        "cluster_task_requeued", digest=entry.digest,
+                        task=entry.label, reason="store entry missing",
+                    )
+                continue
+            if entry.state == PENDING:
+                if self.state.complete_from_store(
+                    entry.digest, result.telemetry_digest()
+                ):
+                    pruned += 1
+        return pruned
+
+    # -- serving ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the lease-expiry sweep."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        interval = min(1.0, self.state.lease_timeout_s / 4.0)
+        self._expiry_task = asyncio.create_task(self._expire_loop(interval))
+        counts = self.state.counts()
+        self._emit(
+            "cluster_campaign_start", host=self.host, port=self.port,
+            total=len(self.state.tasks), done=counts["done"],
+            lease_timeout_s=self.state.lease_timeout_s,
+            max_attempts=self.state.max_attempts,
+        )
+        self._check_finished()
+
+    async def serve(self) -> dict:
+        """Serve until finished (``exit_when_done``) or cancelled.
+
+        Returns the final fleet snapshot either way.
+        """
+        if self._server is None:
+            await self.start()
+        try:
+            if self.exit_when_done:
+                await self.done.wait()
+                await asyncio.sleep(_DRAIN_GRACE_S)
+            else:
+                await asyncio.Event().wait()  # until cancelled
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.close()
+        return self.state.snapshot()
+
+    async def close(self) -> None:
+        if self._expiry_task is not None:
+            self._expiry_task.cancel()
+            try:
+                await self._expiry_task
+            except asyncio.CancelledError:
+                pass
+            self._expiry_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            counts = self.state.counts()
+            self._emit(
+                "cluster_campaign_end", total=len(self.state.tasks),
+                done=counts["done"], failed=counts["failed"],
+                steals=self.state.steals, retries=self.state.retries,
+                expired=self.state.expired,
+            )
+
+    async def _expire_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            if self.state.expire_stale():
+                self._check_finished()
+
+    def _check_finished(self) -> None:
+        if self.state.finished:
+            self.done.set()
+
+    # -- per-connection protocol -----------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        worker: "str | None" = None
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame["type"] == "hello":
+                    worker = str(frame.get("worker", "anonymous"))
+                reply = self._dispatch(frame, worker)
+                await send_frame(writer, reply)
+        except (ClusterError, ConnectionError, OSError):
+            pass  # lost peer: lease recovery below handles the fallout
+        finally:
+            if worker is not None:
+                self.state.worker_left(worker)
+                self._check_finished()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, frame: dict, worker: "str | None") -> dict:
+        kind = frame["type"]
+        if kind == "hello":
+            self.state.worker_joined(
+                str(frame.get("worker", "anonymous")),
+                {
+                    "pid": frame.get("pid"),
+                    "host": frame.get("host"),
+                },
+            )
+            return {
+                "type": "welcome",
+                "lease_timeout_s": self.state.lease_timeout_s,
+                "heartbeat_s": self.state.lease_timeout_s / 3.0,
+            }
+        if kind == "lease_request":
+            return self._grant(worker or str(frame.get("worker", "?")))
+        if kind == "heartbeat":
+            ok = self.state.heartbeat(
+                frame.get("lease_id", ""), frame.get("progress")
+            )
+            return {"type": "ack", "ok": ok}
+        if kind == "result":
+            return self._accept_result(frame, worker)
+        if kind == "task_error":
+            requeued = self.state.fail(
+                frame.get("lease_id"), digest=frame.get("digest"),
+                error=str(frame.get("error", "unknown error")),
+            )
+            self._check_finished()
+            return {"type": "ack", "ok": True, "requeued": requeued}
+        if kind == "store_get":
+            return self._serve_store(frame)
+        if kind == "status":
+            return self._fleet_status()
+        if kind == "submit":
+            added = sum(
+                1 for wire in frame.get("tasks", [])
+                if self._add_task_wire(wire)
+            )
+            return {"type": "ack", "ok": True, "added": added}
+        return {"type": "error", "error": f"unknown frame type {kind!r}"}
+
+    def _add_task_wire(self, wire: dict) -> bool:
+        TaskSpec.from_wire(wire)  # digest-validate before accepting
+        return self.state.add_task(wire)
+
+    def _grant(self, worker: str) -> dict:
+        lease = self.state.next_lease(worker)
+        if lease is not None:
+            return {"type": "lease", **lease}
+        if self.state.finished:
+            return {"type": "drained"}
+        return {"type": "wait", "poll_s": 0.2}
+
+    def _accept_result(self, frame: dict, worker: "str | None") -> dict:
+        digest = frame.get("digest")
+        lease_id = frame.get("lease_id")
+        entry, _lease = self.state.resolve(lease_id, digest)
+        if entry is None:
+            return {
+                "type": "error",
+                "error": f"result for unknown task {digest!r}",
+            }
+        spec = TaskSpec.from_wire(entry.wire)
+        try:
+            result = self.store.put_result_bytes(
+                spec, unpack_bytes(frame["payload"])
+            )
+        except StoreMismatchError as exc:
+            self._emit(
+                "store_conflict", digest=entry.digest, task=entry.label,
+                worker=worker, cached=exc.cached, computed=exc.computed,
+            )
+            self.state.fail(
+                lease_id, digest=entry.digest, error=str(exc), fatal=True,
+            )
+            self._check_finished()
+            return {
+                "type": "error", "code": "store_conflict",
+                "error": str(exc),
+            }
+        except ClusterError as exc:
+            self.state.fail(
+                lease_id, digest=entry.digest, error=str(exc),
+            )
+            self._check_finished()
+            return {"type": "error", "error": str(exc)}
+        accepted = self.state.complete(
+            lease_id, digest=entry.digest, worker=worker,
+            telemetry_digest=result.telemetry_digest(),
+            duration_s=frame.get("duration_s"),
+            cached=bool(frame.get("cached")),
+        )
+        summary = frame.get("summary")
+        if accepted and summary:
+            self._emit(
+                "task_telemetry", task=entry.label, digest=entry.digest,
+                cached=bool(frame.get("cached")), worker=worker,
+                **summary,
+            )
+        self._check_finished()
+        return {"type": "ack", "ok": True, "accepted": accepted}
+
+    def _serve_store(self, frame: dict) -> dict:
+        kind = frame.get("kind", "result")
+        if kind == "warm":
+            data = self.store.get_warm_bytes(str(frame.get("name", "")))
+        elif kind == "result":
+            digest = frame.get("digest")
+            entry = self.state.tasks.get(digest) if digest else None
+            if entry is None:
+                return {"type": "store_miss"}
+            data = self.store.get_result_bytes(
+                TaskSpec.from_wire(entry.wire)
+            )
+        else:
+            return {
+                "type": "error",
+                "error": f"unknown store kind {kind!r}",
+            }
+        if data is None:
+            return {"type": "store_miss"}
+        return {"type": "store_hit", "payload": pack_bytes(data)}
+
+    def _fleet_status(self) -> dict:
+        payload = self.state.snapshot()
+        payload["store"] = {
+            "directory": str(self.store.directory),
+            "served": self.store.served,
+            "fetched": self.store.fetched,
+            "conflicts": self.store.conflicts,
+        }
+        payload["time"] = round(time.time(), 3)
+        return {"type": "fleet_status", "status": payload}

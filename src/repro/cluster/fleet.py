@@ -1,0 +1,144 @@
+"""Fleet observability: live status fetch + rendering.
+
+``python -m repro cluster status`` talks the same wire protocol as a
+worker: one ``status`` frame, one ``fleet_status`` reply carrying the
+coordinator's :meth:`CampaignState.snapshot` — per-worker leases with
+ages and checkpoint progress, steal/retry/expiry counters, store
+traffic, and a campaign-wide ETA extrapolated from mean task duration
+over the connected fleet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.cluster.protocol import read_frame, send_frame
+from repro.errors import ClusterError
+
+__all__ = ["FleetStatus", "fetch_status", "get_status"]
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """One sampled view of a running campaign's fleet."""
+
+    payload: dict
+
+    @property
+    def total(self) -> int:
+        return self.payload.get("total", 0)
+
+    @property
+    def done(self) -> int:
+        return self.payload.get("done", 0)
+
+    @property
+    def workers(self) -> list:
+        return self.payload.get("workers", [])
+
+    @property
+    def eta_s(self) -> "float | None":
+        return self.payload.get("eta_s")
+
+    def render(self) -> str:
+        """Human-readable status report (tables + headline line)."""
+        from repro.analysis import TextTable
+
+        p = self.payload
+        head = TextTable("campaign", ["metric", "value"])
+        head.add_row(
+            "progress",
+            f"{self.done}/{self.total} done, {p.get('failed', 0)} failed",
+        )
+        head.add_row("pending / leased",
+                     f"{p.get('pending', 0)} / {p.get('leased', 0)}")
+        head.add_row(
+            "steals / retries / expired leases",
+            f"{p.get('steals', 0)} / {p.get('retries', 0)} / "
+            f"{p.get('expired', 0)}",
+        )
+        if p.get("late_results"):
+            head.add_row("late results", p["late_results"])
+        mean = p.get("mean_task_s")
+        head.add_row(
+            "mean task", f"{mean:.2f}s" if mean is not None else "-"
+        )
+        eta = self.eta_s
+        head.add_row("ETA", f"{eta:.0f}s" if eta is not None else "-")
+        store = p.get("store", {})
+        if store:
+            head.add_row(
+                "store served / fetched / conflicts",
+                f"{store.get('served', 0)} / {store.get('fetched', 0)} / "
+                f"{store.get('conflicts', 0)}",
+            )
+        head.add_row("uptime", f"{p.get('uptime_s', 0):.0f}s")
+        lines = [head.render()]
+
+        fleet = TextTable(
+            f"fleet ({len(self.workers)} worker(s))",
+            ["worker", "state", "done", "failed", "lease", "age",
+             "progress"],
+        )
+        for row in self.workers:
+            state = "up" if row.get("connected") else "lost"
+            leases = row.get("leases", [])
+            if not leases:
+                fleet.add_row(
+                    row["worker"], state, row.get("done", 0),
+                    row.get("failed", 0), "-", "-", "-",
+                )
+            for lease in leases:
+                progress = lease.get("progress") or {}
+                cycle = progress.get("checkpoint_cycle")
+                fleet.add_row(
+                    row["worker"], state, row.get("done", 0),
+                    row.get("failed", 0),
+                    f"{lease['task']} (#{lease['attempt']})",
+                    f"{lease['age_s']:.1f}s",
+                    f"cycle {cycle}" if cycle is not None else "-",
+                )
+        lines.append(fleet.render())
+
+        failed = p.get("failed_tasks", [])
+        if failed:
+            bad = TextTable("failed tasks", ["task", "error"])
+            for item in failed:
+                bad.add_row(item["task"], item.get("error") or "-")
+            lines.append(bad.render())
+        return "\n\n".join(lines)
+
+
+async def fetch_status(
+    host: str, port: int, timeout_s: float = 5.0
+) -> FleetStatus:
+    """Ask a running coordinator for its live fleet snapshot."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+        raise ClusterError(
+            f"no coordinator answering at {host}:{port}: {exc}"
+        )
+    try:
+        await send_frame(writer, {"type": "status"})
+        reply = await asyncio.wait_for(read_frame(reader), timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    if reply is None or reply.get("type") != "fleet_status":
+        raise ClusterError(
+            f"unexpected status reply: "
+            f"{None if reply is None else reply.get('type')!r}"
+        )
+    return FleetStatus(reply["status"])
+
+
+def get_status(host: str, port: int, timeout_s: float = 5.0) -> FleetStatus:
+    """Synchronous wrapper around :func:`fetch_status`."""
+    return asyncio.run(fetch_status(host, port, timeout_s))

@@ -1,0 +1,144 @@
+"""Length-prefixed JSON wire protocol for the campaign cluster.
+
+Every message between a worker (or status client) and the coordinator is
+one *frame*: a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON encoding a single object with a ``"type"`` key. Plain asyncio
+streams, no dependencies, trivially debuggable with ``nc`` plus a hex
+dump. Binary payloads (pickled results, warm images) ride base64-encoded
+inside the JSON — frames stay self-describing and journal-friendly at
+the cost of ~33% transfer overhead, which is noise next to simulation
+time.
+
+Frame types (worker → coordinator unless noted):
+
+==================  ====================================================
+``hello``           worker registration: ``worker``, ``pid``, ``host``
+``welcome``         (coord) registration ack: lease/heartbeat timing
+``lease_request``   ask for work (the work-*stealing* pull)
+``lease``           (coord) one task: wire spec, ``lease_id``, deadlines
+``wait``            (coord) nothing leasable now; poll again later
+``drained``         (coord) campaign finished; worker should exit
+``heartbeat``       lease keep-alive with progress (checkpoint cycle)
+``ack``             (coord) generic acknowledgement; ``ok`` flag
+``result``          completed task: payload + telemetry summary
+``task_error``      attempt failed: error text
+``store_get``       content-addressed fetch (result or warm image)
+``store_hit``       (coord) fetched bytes
+``store_miss``      (coord) no such entry
+``status``          fleet telemetry request (status client)
+``fleet_status``    (coord) live fleet snapshot
+``submit``          add tasks to the running campaign
+``error``           (coord) structured failure, e.g. digest conflict
+==================  ====================================================
+
+The protocol is *stateless per frame* beyond lease identity, which is
+what makes coordinator restart cheap: a reconnecting worker simply says
+``hello`` again and re-pulls work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+
+from repro.errors import ClusterError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "read_frame",
+    "pack_bytes",
+    "unpack_bytes",
+]
+
+#: Frame size ceiling. Warm images for large geometries run to tens of
+#: MiB; anything beyond this is a protocol bug, not a payload.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    if not isinstance(message, dict) or "type" not in message:
+        raise ClusterError("a frame must be a dict with a 'type' key")
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> dict:
+    """Inverse of :func:`encode_frame` (testing/debugging helper)."""
+    if len(data) < _HEADER.size:
+        raise ClusterError("truncated frame header")
+    (length,) = _HEADER.unpack_from(data)
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise ClusterError(
+            f"frame length {length} does not match body of {len(body)}"
+        )
+    return _parse_body(body)
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ClusterError(f"undecodable frame body: {exc}")
+    if not isinstance(message, dict) or "type" not in message:
+        raise ClusterError("frame body must be a dict with a 'type' key")
+    return message
+
+
+async def send_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> "dict | None":
+    """Read one frame; ``None`` on clean EOF before a header byte.
+
+    EOF in the *middle* of a frame (a peer killed mid-write) raises
+    :class:`ClusterError` — the caller should drop the connection.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ClusterError("connection closed mid-frame (torn header)")
+    except ConnectionError:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"peer announced a {length}-byte frame (ceiling "
+            f"{MAX_FRAME_BYTES}); dropping the connection"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ClusterError("connection closed mid-frame (torn body)")
+    return _parse_body(body)
+
+
+def pack_bytes(data: bytes) -> str:
+    """Binary payload → JSON-safe base64 text."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def unpack_bytes(text: str) -> bytes:
+    """Inverse of :func:`pack_bytes`."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ClusterError(f"undecodable binary payload: {exc}")

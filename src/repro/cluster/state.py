@@ -1,0 +1,515 @@
+"""Coordinator-side campaign state: tasks, leases, workers, counters.
+
+This module is the cluster's brain, kept deliberately free of I/O: a
+:class:`CampaignState` is a synchronous, single-threaded state machine
+driven by the asyncio coordinator, with an injectable ``clock`` (tests
+drive lease expiry with a fake clock, no sleeping) and an optional
+journal observer through which **every state transition is persisted**.
+Because the journal records task additions (with their wire payloads)
+and terminal transitions, a killed coordinator rebuilds its exact
+pending/done ledger by replaying the journal — leases die with the
+process by design and their tasks simply return to the queue.
+
+Task lifecycle::
+
+    added ──> pending ──> leased ──> done
+                 ^           │
+                 │           ├─ attempt failed (retries left)
+                 ├───────────┤
+                 │           └─ lease expired / worker lost (a *steal*
+                 │              when another worker then takes it)
+                 └─ replayed from journal
+              leased ──> failed          (attempts exhausted)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["CampaignState", "TaskEntry", "Lease"]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class TaskEntry:
+    """One task's coordinator-side ledger row."""
+
+    wire: dict                       # TaskSpec.to_wire() payload
+    digest: str
+    label: str
+    state: str = PENDING
+    attempts: int = 0                # failed attempts so far
+    worker: "str | None" = None      # current lease holder
+    last_worker: "str | None" = None
+    error: "str | None" = None
+    telemetry_digest: "str | None" = None
+    warm: "dict | None" = None       # remote warm-image metadata
+
+
+@dataclass
+class Lease:
+    """A live claim by one worker on one task."""
+
+    lease_id: str
+    digest: str
+    worker: str
+    attempt: int
+    granted_at: float
+    last_heartbeat: float
+    progress: dict = field(default_factory=dict)
+
+
+@dataclass
+class WorkerRow:
+    """What the fleet view knows about one worker."""
+
+    worker: str
+    meta: dict = field(default_factory=dict)
+    connected: bool = True
+    last_seen: float = 0.0
+    done: int = 0
+    failed: int = 0
+
+
+class CampaignState:
+    """The task DAG, lease table and fleet counters of one campaign.
+
+    :param lease_timeout_s: a lease whose last heartbeat is older than
+        this is revoked and its task re-queued.
+    :param max_attempts: total attempts per task before it is failed.
+    :param clock: monotonic time source (injectable for tests).
+    :param journal: ``(event, fields)`` observer; every transition is
+        emitted through it (a :class:`~repro.exec.journal.RunJournal`
+        makes the campaign crash-recoverable).
+    """
+
+    def __init__(
+        self,
+        lease_timeout_s: float = 15.0,
+        max_attempts: int = 3,
+        clock=time.monotonic,
+        journal=None,
+    ) -> None:
+        self.lease_timeout_s = lease_timeout_s
+        self.max_attempts = max(1, max_attempts)
+        self.clock = clock
+        self.journal = journal
+        self.tasks: "dict[str, TaskEntry]" = {}
+        self.queue: "deque[str]" = deque()
+        self.leases: "dict[str, Lease]" = {}
+        self.workers: "dict[str, WorkerRow]" = {}
+        self.steals = 0
+        self.retries = 0
+        self.expired = 0
+        self.late_results = 0
+        self._lease_seq = 0
+        self._durations: list[float] = []
+        self._started = clock()
+
+    # -- journal ---------------------------------------------------------
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal(event, fields)
+
+    # -- task intake -----------------------------------------------------
+
+    def add_task(self, wire: dict, _replay: bool = False) -> bool:
+        """Register one wire-form task; ``False`` if already known."""
+        digest = wire["digest"]
+        if digest in self.tasks:
+            return False
+        entry = TaskEntry(wire=wire, digest=digest,
+                          label=wire.get("label", digest))
+        self.tasks[digest] = entry
+        self.queue.append(digest)
+        if not _replay:
+            self._emit(
+                "cluster_task_added", digest=digest, task=entry.label,
+                spec=wire.get("spec"),
+            )
+        return True
+
+    def set_warm(self, digest: str, warm: dict) -> None:
+        """Attach remote warm-image metadata to a task's leases."""
+        self.tasks[digest].warm = warm
+
+    # -- worker registry -------------------------------------------------
+
+    def worker_joined(self, worker: str, meta: "dict | None" = None) -> None:
+        row = self.workers.get(worker)
+        if row is None:
+            row = WorkerRow(worker=worker)
+            self.workers[worker] = row
+        row.meta = dict(meta or {})
+        row.connected = True
+        row.last_seen = self.clock()
+        self._emit("worker_joined", worker=worker, **row.meta)
+
+    def worker_seen(self, worker: str) -> None:
+        row = self.workers.get(worker)
+        if row is not None:
+            row.last_seen = self.clock()
+
+    def worker_left(self, worker: str) -> int:
+        """Connection gone: revoke the worker's leases, re-queue tasks."""
+        row = self.workers.get(worker)
+        if row is not None:
+            row.connected = False
+        revoked = [
+            lease for lease in self.leases.values()
+            if lease.worker == worker
+        ]
+        for lease in revoked:
+            self._requeue(lease, "lease_released", reason="worker lost")
+        self._emit("worker_left", worker=worker, revoked=len(revoked))
+        return len(revoked)
+
+    # -- leases ----------------------------------------------------------
+
+    def next_lease(self, worker: str) -> "dict | None":
+        """Grant the next pending task to ``worker`` (the work pull).
+
+        Returns the lease message payload, or ``None`` when nothing is
+        pending right now (in-flight leases may still re-queue later).
+        """
+        self.worker_seen(worker)
+        while self.queue:
+            digest = self.queue.popleft()
+            entry = self.tasks.get(digest)
+            if entry is None or entry.state != PENDING:
+                continue  # superseded queue entry
+            now = self.clock()
+            self._lease_seq += 1
+            lease_id = f"L{self._lease_seq}-{digest[:8]}"
+            attempt = entry.attempts + 1
+            lease = Lease(
+                lease_id=lease_id, digest=digest, worker=worker,
+                attempt=attempt, granted_at=now, last_heartbeat=now,
+            )
+            self.leases[lease_id] = lease
+            entry.state = LEASED
+            entry.worker = worker
+            stolen = (
+                entry.last_worker is not None
+                and entry.last_worker != worker
+            )
+            if stolen:
+                self.steals += 1
+            self._emit(
+                "lease_granted", digest=digest, task=entry.label,
+                worker=worker, lease_id=lease_id, attempt=attempt,
+                stolen=stolen,
+            )
+            payload = {
+                "lease_id": lease_id,
+                "task": entry.wire,
+                "attempt": attempt,
+                "lease_timeout_s": self.lease_timeout_s,
+            }
+            if entry.warm is not None:
+                payload["warm"] = entry.warm
+            return payload
+        return None
+
+    def heartbeat(self, lease_id: str, progress: "dict | None" = None) -> bool:
+        """Renew a lease; ``False`` means it was revoked (stop working)."""
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.last_heartbeat = self.clock()
+        if progress:
+            lease.progress = dict(progress)
+        self.worker_seen(lease.worker)
+        return True
+
+    def expire_stale(self) -> list[str]:
+        """Revoke every lease whose heartbeat went stale; re-queue tasks."""
+        now = self.clock()
+        revoked = []
+        for lease in list(self.leases.values()):
+            age = now - lease.last_heartbeat
+            if age <= self.lease_timeout_s:
+                continue
+            self.expired += 1
+            self._requeue(
+                lease, "lease_expired",
+                heartbeat_age_s=round(age, 3),
+            )
+            revoked.append(lease.digest)
+        return revoked
+
+    def _requeue(self, lease: Lease, event: str, **fields) -> None:
+        del self.leases[lease.lease_id]
+        entry = self.tasks[lease.digest]
+        if entry.state == LEASED:
+            entry.state = PENDING
+            entry.last_worker = lease.worker
+            entry.worker = None
+            self.queue.append(entry.digest)
+        self._emit(
+            event, digest=lease.digest, task=entry.label,
+            worker=lease.worker, lease_id=lease.lease_id,
+            attempt=lease.attempt, **fields,
+        )
+
+    # -- task outcomes ---------------------------------------------------
+
+    def resolve(self, lease_id: "str | None", digest: "str | None"):
+        """The (entry, lease) a result/error frame refers to.
+
+        A valid lease wins; otherwise fall back to the digest — a worker
+        whose lease was revoked mid-run may still deliver a perfectly
+        good result (a *late result*), which beats re-computing it.
+        """
+        lease = self.leases.get(lease_id) if lease_id else None
+        if lease is not None:
+            return self.tasks[lease.digest], lease
+        if digest is not None:
+            return self.tasks.get(digest), None
+        return None, None
+
+    def complete(
+        self,
+        lease_id: "str | None",
+        digest: "str | None" = None,
+        worker: "str | None" = None,
+        telemetry_digest: "str | None" = None,
+        duration_s: "float | None" = None,
+        cached: bool = False,
+    ) -> bool:
+        """Mark a task done; ``False`` if it is unknown or already done."""
+        entry, lease = self.resolve(lease_id, digest)
+        if entry is None or entry.state == DONE:
+            return False
+        if lease is not None:
+            worker = lease.worker
+            del self.leases[lease.lease_id]
+        else:
+            self.late_results += 1
+        entry.state = DONE
+        entry.worker = None
+        entry.last_worker = worker
+        entry.telemetry_digest = telemetry_digest
+        row = self.workers.get(worker) if worker else None
+        if row is not None:
+            row.done += 1
+        if duration_s is not None:
+            self._durations.append(float(duration_s))
+        self._emit(
+            "cluster_task_done", digest=entry.digest, task=entry.label,
+            worker=worker, telemetry_digest=telemetry_digest,
+            duration_s=duration_s, cached=cached, late=lease is None,
+        )
+        return True
+
+    def fail(
+        self,
+        lease_id: "str | None",
+        digest: "str | None" = None,
+        error: str = "unknown error",
+        fatal: bool = False,
+    ) -> bool:
+        """Record a failed attempt; returns ``True`` if re-queued.
+
+        ``fatal`` skips remaining retries — used for structured
+        determinism violations (store digest conflicts) where retrying
+        cannot help.
+        """
+        entry, lease = self.resolve(lease_id, digest)
+        if entry is None or entry.state in (DONE, FAILED):
+            return False
+        worker = lease.worker if lease is not None else None
+        if lease is not None:
+            del self.leases[lease.lease_id]
+        entry.attempts += 1
+        entry.error = error
+        entry.worker = None
+        entry.last_worker = worker or entry.last_worker
+        row = self.workers.get(worker) if worker else None
+        if row is not None:
+            row.failed += 1
+        if not fatal and entry.attempts < self.max_attempts:
+            entry.state = PENDING
+            self.queue.append(entry.digest)
+            self.retries += 1
+            self._emit(
+                "cluster_task_retry", digest=entry.digest,
+                task=entry.label, worker=worker, error=error,
+                attempts=entry.attempts,
+            )
+            return True
+        entry.state = FAILED
+        self._emit(
+            "cluster_task_exhausted", digest=entry.digest,
+            task=entry.label, worker=worker, error=error,
+            attempts=entry.attempts, fatal=fatal,
+        )
+        return False
+
+    def mark_done_replay(
+        self, digest: str, telemetry_digest: "str | None" = None
+    ) -> None:
+        """Replay/startup helper: a task whose result already exists."""
+        entry = self.tasks.get(digest)
+        if entry is None or entry.state == DONE:
+            return
+        entry.state = DONE
+        entry.telemetry_digest = telemetry_digest
+
+    def complete_from_store(
+        self, digest: str, telemetry_digest: "str | None" = None
+    ) -> bool:
+        """A pending task's result was found already cached in the store."""
+        entry = self.tasks.get(digest)
+        if entry is None or entry.state == DONE:
+            return False
+        entry.state = DONE
+        entry.worker = None
+        entry.telemetry_digest = telemetry_digest
+        self._emit(
+            "cluster_task_done", digest=entry.digest, task=entry.label,
+            worker=None, telemetry_digest=telemetry_digest,
+            duration_s=None, cached=True, late=False,
+        )
+        return True
+
+    # -- summary ---------------------------------------------------------
+
+    def counts(self) -> dict:
+        by_state = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        for entry in self.tasks.values():
+            by_state[entry.state] += 1
+        return by_state
+
+    @property
+    def finished(self) -> bool:
+        """Every known task is terminal (done or failed)."""
+        counts = self.counts()
+        return bool(self.tasks) and not counts[PENDING] and not counts[LEASED]
+
+    def eta_s(self) -> "float | None":
+        """Fleet-wide wall-clock estimate for the remaining tasks."""
+        counts = self.counts()
+        remaining = counts[PENDING] + counts[LEASED]
+        if remaining == 0 or not self._durations:
+            return None
+        active = sum(1 for row in self.workers.values() if row.connected)
+        mean = sum(self._durations) / len(self._durations)
+        return remaining * mean / max(1, active)
+
+    def snapshot(self) -> dict:
+        """The live fleet-status payload (see :mod:`repro.cluster.fleet`)."""
+        now = self.clock()
+        counts = self.counts()
+        eta = self.eta_s()
+        workers = []
+        for row in sorted(self.workers.values(), key=lambda r: r.worker):
+            leases = [
+                {
+                    "digest": lease.digest,
+                    "task": self.tasks[lease.digest].label,
+                    "lease_id": lease.lease_id,
+                    "attempt": lease.attempt,
+                    "age_s": round(now - lease.granted_at, 3),
+                    "heartbeat_age_s": round(
+                        now - lease.last_heartbeat, 3
+                    ),
+                    "progress": lease.progress,
+                }
+                for lease in self.leases.values()
+                if lease.worker == row.worker
+            ]
+            workers.append({
+                "worker": row.worker,
+                "connected": row.connected,
+                "last_seen_s": round(now - row.last_seen, 3),
+                "done": row.done,
+                "failed": row.failed,
+                "leases": leases,
+            })
+        failed = [
+            {"task": e.label, "digest": e.digest, "error": e.error}
+            for e in self.tasks.values() if e.state == FAILED
+        ]
+        mean = (
+            sum(self._durations) / len(self._durations)
+            if self._durations else None
+        )
+        return {
+            "total": len(self.tasks),
+            "pending": counts[PENDING],
+            "leased": counts[LEASED],
+            "done": counts[DONE],
+            "failed": counts[FAILED],
+            "steals": self.steals,
+            "retries": self.retries,
+            "expired": self.expired,
+            "late_results": self.late_results,
+            "lease_timeout_s": self.lease_timeout_s,
+            "uptime_s": round(now - self._started, 3),
+            "mean_task_s": round(mean, 4) if mean is not None else None,
+            "eta_s": round(eta, 3) if eta is not None else None,
+            "workers": workers,
+            "failed_tasks": failed[:20],
+        }
+
+    # -- journal replay --------------------------------------------------
+
+    @classmethod
+    def replay(
+        cls,
+        events: "list[dict]",
+        lease_timeout_s: float = 15.0,
+        max_attempts: int = 3,
+        clock=time.monotonic,
+        journal=None,
+    ) -> "CampaignState":
+        """Rebuild campaign state from a journal's event stream.
+
+        Only durable facts are restored: the task set (``cluster_task_
+        added``), terminal outcomes (``cluster_task_done`` / ``cluster_
+        task_exhausted``) and consumed attempts (``cluster_task_retry``).
+        Leases are *not* restored — they belonged to the dead process;
+        their tasks come back as pending, which is exactly the work-
+        stealing recovery path.
+        """
+        state = cls(
+            lease_timeout_s=lease_timeout_s, max_attempts=max_attempts,
+            clock=clock, journal=journal,
+        )
+        for event in events:
+            name = event.get("event")
+            digest = event.get("digest")
+            if name == "cluster_task_added" and event.get("spec"):
+                state.add_task(
+                    {
+                        "digest": digest,
+                        "label": event.get("task", digest),
+                        "spec": event["spec"],
+                    },
+                    _replay=True,
+                )
+            elif name == "cluster_task_done" and digest in state.tasks:
+                state.mark_done_replay(
+                    digest, event.get("telemetry_digest")
+                )
+            elif name == "cluster_task_retry" and digest in state.tasks:
+                state.tasks[digest].attempts = max(
+                    state.tasks[digest].attempts,
+                    int(event.get("attempts", 0)),
+                )
+            elif name == "cluster_task_exhausted" and digest in state.tasks:
+                entry = state.tasks[digest]
+                entry.state = FAILED
+                entry.error = event.get("error")
+                entry.attempts = max(
+                    entry.attempts, int(event.get("attempts", 0))
+                )
+        return state

@@ -1,0 +1,227 @@
+"""Content-addressed result store shared by workers and coordinator.
+
+One directory layout, three jobs:
+
+* **Local disk cache** — results live under exactly the file names the
+  serial :class:`~repro.sim.campaign.Campaign` uses (the TaskSpec digest
+  is in the name), so a cluster store directory *is* a campaign cache
+  directory: serial runs, ``ParallelCampaign`` and a whole fleet can
+  share one, byte-for-byte.
+* **Transfer endpoint** — results and warm images serialize to raw bytes
+  for the wire (``*_bytes`` methods); any node that has a digest can
+  serve it.
+* **Determinism guard** — :meth:`put_result` never silently overwrites:
+  a result arriving for a digest that already has a cached copy must
+  match its telemetry digest, else :class:`StoreMismatchError` — the
+  structured "your fleet diverged" alarm.
+
+Warm images are content-addressed the same way, keyed by the fork-group
+name (a hash over warmup digest + trace identity — see
+:func:`repro.snapshot.warm.fork_groups`) under ``<dir>/warm/``.
+
+Single-flight: :meth:`claim` wraps the advisory claim files of
+:class:`~repro.sim.campaign.Campaign` so two workers (of different
+campaigns, or racing coordinators) missing the same digest do not both
+simulate it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import time
+from pathlib import Path
+
+from repro.errors import ClusterError, StoreMismatchError
+from repro.sim.campaign import Campaign
+from repro.sim.metrics import SimResult
+
+__all__ = ["ResultStore", "StoreClaim"]
+
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class StoreClaim:
+    """A held single-flight claim; release it (or use as a context)."""
+
+    def __init__(self, store: "ResultStore", path: Path) -> None:
+        self._store = store
+        self._path = path
+        self.released = False
+
+    def release(self) -> None:
+        if not self.released:
+            self._store.campaign.release_claim(self._path)
+            self.released = True
+
+    def __enter__(self) -> "StoreClaim":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ResultStore:
+    """Digest-keyed result + warm-image store over one directory."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.campaign = Campaign(self.directory)
+        self.warm_dir = self.directory / "warm"
+        self.warm_dir.mkdir(parents=True, exist_ok=True)
+        self.conflicts = 0
+        self.served = 0
+        self.fetched = 0
+
+    # -- results ---------------------------------------------------------
+
+    def result_path(self, spec) -> Path:
+        return self.directory / spec.cache_filename()
+
+    def get_result(self, spec) -> "SimResult | None":
+        """The cached result for ``spec``, or ``None`` (miss)."""
+        return self.campaign.load_cached(self.result_path(spec))
+
+    def get_result_bytes(self, spec) -> "bytes | None":
+        """Wire-ready pickle bytes of the cached result, if present."""
+        path = self.result_path(spec)
+        if self.campaign.load_cached(path) is None:
+            return None
+        self.served += 1
+        return path.read_bytes()
+
+    def put_result(self, spec, result: SimResult) -> SimResult:
+        """Store ``result`` under ``spec``'s digest, conflict-checked.
+
+        If a copy is already cached, its telemetry digest is
+        cross-checked against the new result's: equal digests return the
+        *cached* copy (first write wins, byte-stable cache files);
+        differing digests raise :class:`StoreMismatchError` and bump the
+        ``conflicts`` counter — never a silent overwrite.
+        """
+        if not isinstance(result, SimResult):
+            raise ClusterError(
+                f"store payload must be a SimResult, got "
+                f"{type(result).__name__}"
+            )
+        path = self.result_path(spec)
+        cached = self.campaign.load_cached(path)
+        if cached is not None:
+            have, got = cached.telemetry_digest(), result.telemetry_digest()
+            if have != got:
+                self.conflicts += 1
+                raise StoreMismatchError(spec.digest(), have, got)
+            return cached
+        self.campaign.store(path, result)
+        return result
+
+    def put_result_bytes(self, spec, data: bytes) -> SimResult:
+        """Validate wire bytes and store them *verbatim*.
+
+        The payload is decoded for validation and conflict checking, but
+        the original bytes hit the disk unchanged: re-pickling a loaded
+        object is not byte-stable (CPython shares small-string singletons
+        on load, changing memoization), and verbatim writes are what keep
+        a fleet's cache files byte-identical to the producing worker's.
+        """
+        try:
+            result = pickle.loads(data)
+        except Exception as exc:
+            raise ClusterError(
+                f"undecodable result payload for task "
+                f"{spec.digest()}: {exc}"
+            )
+        if not isinstance(result, SimResult):
+            raise ClusterError(
+                f"store payload must be a SimResult, got "
+                f"{type(result).__name__}"
+            )
+        self.fetched += 1
+        path = self.result_path(spec)
+        cached = self.campaign.load_cached(path)
+        if cached is not None:
+            have, got = cached.telemetry_digest(), result.telemetry_digest()
+            if have != got:
+                self.conflicts += 1
+                raise StoreMismatchError(spec.digest(), have, got)
+            return cached
+        import os
+
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return result
+
+    # -- warm images ------------------------------------------------------
+
+    def warm_path(self, filename: str) -> Path:
+        """The local path of a warm image, by its content-derived name."""
+        if not _SAFE_NAME.match(filename) or filename.strip(".") == "":
+            raise ClusterError(f"illegal warm-image name {filename!r}")
+        return self.warm_dir / filename
+
+    def get_warm_bytes(self, filename: str) -> "bytes | None":
+        path = self.warm_path(filename)
+        if not path.is_file():
+            return None
+        self.served += 1
+        return path.read_bytes()
+
+    def put_warm_bytes(self, filename: str, data: bytes) -> Path:
+        """Atomically persist a fetched warm image (idempotent)."""
+        import os
+
+        path = self.warm_path(filename)
+        if path.is_file():
+            return path  # content-addressed: an existing copy is equal
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.fetched += 1
+        return path
+
+    # -- single flight ----------------------------------------------------
+
+    def claim(self, spec, stale_s: float = 3600.0) -> "StoreClaim | None":
+        """Claim the right to compute ``spec``; ``None`` = someone else.
+
+        Callers holding a claim should compute and :meth:`put_result`,
+        then release; callers refused one should :meth:`wait_for` the
+        result instead.
+        """
+        path = self.result_path(spec)
+        if self.campaign.try_claim(path, stale_s=stale_s):
+            return StoreClaim(self, path)
+        return None
+
+    def wait_for(
+        self,
+        spec,
+        timeout_s: float = 60.0,
+        poll_s: float = 0.1,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> "SimResult | None":
+        """Poll for another computer's result for up to ``timeout_s``.
+
+        Returns ``None`` on timeout *or* if the foreign claim disappears
+        without producing a result (its holder died) — the caller should
+        then try to claim again.
+        """
+        path = self.result_path(spec)
+        deadline = clock() + timeout_s
+        while True:
+            result = self.campaign.load_cached(path)
+            if result is not None:
+                return result
+            if not self.campaign.claim_path(path).exists():
+                return None  # holder released without a result
+            if clock() >= deadline:
+                return None
+            sleep(poll_s)

@@ -1,0 +1,351 @@
+"""A pull-based cluster worker.
+
+Connects to the coordinator, pulls one lease at a time (work-stealing is
+just every worker pulling as fast as it finishes), executes the
+:class:`~repro.exec.task.TaskSpec` through the existing
+:class:`~repro.exec.runner.ProcessPoolRunner` — so crash isolation,
+retries-with-jitter and checkpoint resume all behave exactly as in a
+local campaign — and streams heartbeats carrying checkpoint progress
+while the simulation runs in a thread.
+
+Robustness posture:
+
+* **Local store first** — a worker that already holds a digest serves it
+  without simulating (and says so with ``cached=true``).
+* **Single flight** — before simulating, the worker claims the cache
+  entry; if a foreign claim exists it waits for that computer's result
+  instead of burning CPU on a duplicate.
+* **Warm images** — a lease can name a warm image; the worker fetches it
+  from the coordinator's store once, content-addressed, and reuses it
+  for every later lease of the same group.
+* **Coordinator loss** — the connection is retried with backoff; a
+  coordinator restart looks like a slow ``lease_request``. A result
+  computed across a revocation is still delivered (late results are
+  accepted if the task is not already done).
+* **Checkpointing** — with a checkpoint dir, a lease that dies mid-task
+  (worker SIGKILL) leaves a checkpoint behind; whoever is re-leased the
+  task on this host resumes it instead of restarting from cycle zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import time
+from dataclasses import replace
+
+from repro.cluster.protocol import (
+    pack_bytes,
+    read_frame,
+    send_frame,
+    unpack_bytes,
+)
+from repro.cluster.store import ResultStore
+from repro.errors import ClusterError
+from repro.exec.runner import ProcessPoolRunner, _checkpoint_cycle
+from repro.exec.task import TaskSpec
+
+__all__ = ["ClusterWorker"]
+
+
+class ClusterWorker:
+    """Run leased tasks against one coordinator until drained.
+
+    :param jobs: worker slots of the inner runner. The default ``1``
+        executes in-process (simple, signal-transparent — a SIGKILL to
+        the worker kills the simulation with it, which is exactly the
+        failure the lease machinery recovers from).
+    :param checkpoint_dir: periodically checkpoint running tasks here;
+        re-leased tasks resume from the latest checkpoint on this host.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        store_dir,
+        worker_id: "str | None" = None,
+        jobs: int = 1,
+        retries: int = 0,
+        checkpoint_dir=None,
+        checkpoint_every: int = 50_000,
+        poll_s: float = 0.2,
+        reconnect_attempts: int = 30,
+        reconnect_delay_s: float = 0.5,
+        observers=(),
+        log=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = ResultStore(store_dir)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.checkpoint_dir = (
+            str(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.poll_s = poll_s
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay_s = reconnect_delay_s
+        self.runner = ProcessPoolRunner(
+            jobs=jobs, retries=retries, observers=observers
+        )
+        self.log = log if log is not None else (lambda line: None)
+        self.heartbeat_s = 5.0
+        self.done_tasks = 0
+        self.cached_tasks = 0
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._io_lock = asyncio.Lock()
+
+    # -- connection ------------------------------------------------------
+
+    async def _connect(self) -> None:
+        """(Re)establish the coordinator connection, with retries."""
+        last: "Exception | None" = None
+        for attempt in range(self.reconnect_attempts):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                welcome = await self._call({
+                    "type": "hello",
+                    "worker": self.worker_id,
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                })
+                if welcome.get("type") != "welcome":
+                    raise ClusterError(
+                        f"expected welcome, got {welcome.get('type')!r}"
+                    )
+                self.heartbeat_s = float(
+                    welcome.get("heartbeat_s", self.heartbeat_s)
+                )
+                self.log(
+                    f"worker {self.worker_id}: connected to "
+                    f"{self.host}:{self.port}"
+                )
+                return
+            except (ConnectionError, OSError, ClusterError) as exc:
+                last = exc
+                await self._drop_connection()
+                await asyncio.sleep(self.reconnect_delay_s)
+        raise ClusterError(
+            f"could not reach coordinator at {self.host}:{self.port} "
+            f"after {self.reconnect_attempts} attempts: {last}"
+        )
+
+    async def _drop_connection(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def _call(self, message: dict) -> dict:
+        """One request/response exchange (serialized on the connection)."""
+        async with self._io_lock:
+            if self._writer is None:
+                raise ConnectionError("not connected")
+            await send_frame(self._writer, message)
+            reply = await read_frame(self._reader)
+        if reply is None:
+            raise ConnectionError("coordinator closed the connection")
+        return reply
+
+    async def _call_reconnecting(self, message: dict) -> dict:
+        """Like :meth:`_call`, surviving a coordinator restart."""
+        try:
+            return await self._call(message)
+        except (ConnectionError, OSError, ClusterError):
+            await self._drop_connection()
+            await self._connect()
+            return await self._call(message)
+
+    # -- main loop -------------------------------------------------------
+
+    async def run(self) -> int:
+        """Pull and execute leases until the campaign drains.
+
+        Returns the number of tasks this worker delivered.
+        """
+        await self._connect()
+        try:
+            while True:
+                reply = await self._call_reconnecting(
+                    {"type": "lease_request", "worker": self.worker_id}
+                )
+                kind = reply.get("type")
+                if kind == "drained":
+                    self.log(
+                        f"worker {self.worker_id}: campaign drained "
+                        f"(done={self.done_tasks} "
+                        f"cached={self.cached_tasks})"
+                    )
+                    return self.done_tasks
+                if kind == "wait":
+                    await asyncio.sleep(
+                        float(reply.get("poll_s", self.poll_s))
+                    )
+                    continue
+                if kind != "lease":
+                    raise ClusterError(
+                        f"unexpected reply to lease_request: {kind!r}"
+                    )
+                await self._execute(reply)
+        finally:
+            await self._drop_connection()
+
+    # -- lease execution -------------------------------------------------
+
+    async def _execute(self, lease: dict) -> None:
+        lease_id = lease["lease_id"]
+        spec = TaskSpec.from_wire(lease["task"])
+        spec = await self._prepare(spec, lease)
+        self.log(
+            f"worker {self.worker_id}: lease {lease_id} -> {spec.label}"
+        )
+
+        cached = self.store.get_result(spec)
+        if cached is not None:
+            self.cached_tasks += 1
+            await self._deliver(lease_id, spec, cached, 0.0, cached=True)
+            return
+
+        claim = self.store.claim(spec)
+        if claim is None:
+            # Someone else on this store is already computing it.
+            foreign = await asyncio.to_thread(
+                self.store.wait_for, spec, self.heartbeat_s * 3
+            )
+            if foreign is not None:
+                await self._deliver(lease_id, spec, foreign, 0.0,
+                                    cached=True)
+                return
+            claim = self.store.claim(spec)  # holder died: take over
+
+        started = time.monotonic()
+        heartbeat = asyncio.create_task(
+            self._heartbeat_loop(lease_id, spec)
+        )
+        try:
+            outcomes = await asyncio.to_thread(self.runner.run, [spec])
+        finally:
+            heartbeat.cancel()
+            try:
+                await heartbeat
+            except asyncio.CancelledError:
+                pass
+            if claim is not None:
+                claim.release()
+        (outcome,) = outcomes
+        duration = time.monotonic() - started
+        if not outcome.ok:
+            await self._call_reconnecting({
+                "type": "task_error",
+                "lease_id": lease_id,
+                "digest": spec.digest(),
+                "worker": self.worker_id,
+                "error": outcome.error,
+            })
+            return
+        self.store.put_result(spec, outcome.result)
+        self.done_tasks += 1
+        await self._deliver(lease_id, spec, outcome.result, duration)
+
+    async def _prepare(self, spec: TaskSpec, lease: dict) -> TaskSpec:
+        """Localize a leased spec: warm image fetch + checkpoint dir."""
+        warm = lease.get("warm")
+        if warm is not None:
+            name = str(warm["image"])
+            local = self.store.warm_path(name)
+            if not local.is_file():
+                reply = await self._call_reconnecting({
+                    "type": "store_get", "kind": "warm", "name": name,
+                })
+                if reply.get("type") == "store_hit":
+                    self.store.put_warm_bytes(
+                        name, unpack_bytes(reply["payload"])
+                    )
+                    self.log(
+                        f"worker {self.worker_id}: fetched warm image "
+                        f"{name} ({local.stat().st_size} bytes)"
+                    )
+            if local.is_file():
+                spec = replace(spec, warm_image=str(local))
+            else:
+                spec = replace(spec, warm_image=None)  # run cold
+        if self.checkpoint_dir is not None:
+            spec = replace(
+                spec,
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+            )
+        return spec
+
+    async def _heartbeat_loop(self, lease_id: str, spec: TaskSpec) -> None:
+        """Renew the lease while the simulation thread works.
+
+        Each beat carries an epoch-progress frame: the cycle of the
+        task's latest checkpoint, when checkpointing is on — the
+        coordinator surfaces it in ``cluster status``.
+        """
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            progress: dict = {}
+            cycle = _checkpoint_cycle(spec)
+            if cycle is not None:
+                progress["checkpoint_cycle"] = cycle
+            try:
+                reply = await self._call({
+                    "type": "heartbeat",
+                    "lease_id": lease_id,
+                    "worker": self.worker_id,
+                    "progress": progress,
+                })
+                if reply.get("type") == "ack" and not reply.get("ok"):
+                    self.log(
+                        f"worker {self.worker_id}: lease {lease_id} "
+                        "revoked (continuing; result becomes late)"
+                    )
+            except (ConnectionError, OSError, ClusterError):
+                await self._drop_connection()  # re-established on deliver
+
+    async def _deliver(
+        self,
+        lease_id: str,
+        spec: TaskSpec,
+        result,
+        duration: float,
+        cached: bool = False,
+    ) -> None:
+        from repro.telemetry.summary import headline_summary
+
+        import pickle
+
+        # Ship the store's bytes verbatim when we have them: re-pickling
+        # a loaded result is not byte-stable, verbatim bytes keep every
+        # store in the fleet byte-identical.
+        payload = self.store.get_result_bytes(spec)
+        if payload is None:
+            payload = pickle.dumps(result)
+        frame = {
+            "type": "result",
+            "lease_id": lease_id,
+            "digest": spec.digest(),
+            "worker": self.worker_id,
+            "duration_s": round(duration, 6),
+            "cached": cached,
+            "payload": pack_bytes(payload),
+        }
+        summary = headline_summary(result)
+        if summary is not None:
+            frame["summary"] = summary
+        reply = await self._call_reconnecting(frame)
+        if reply.get("type") == "error":
+            self.log(
+                f"worker {self.worker_id}: coordinator rejected "
+                f"{spec.label}: {reply.get('error')}"
+            )

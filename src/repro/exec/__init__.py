@@ -34,7 +34,11 @@ Quickstart::
 from repro.exec.journal import RunJournal, read_journal
 from repro.exec.parallel import ParallelCampaign
 from repro.exec.progress import ProgressReporter
-from repro.exec.runner import ProcessPoolRunner, TaskOutcome
+from repro.exec.runner import (
+    ProcessPoolRunner,
+    TaskOutcome,
+    retry_backoff,
+)
 from repro.exec.task import TaskSpec, execute_task
 
 __all__ = [
@@ -42,6 +46,7 @@ __all__ = [
     "execute_task",
     "ProcessPoolRunner",
     "TaskOutcome",
+    "retry_backoff",
     "ParallelCampaign",
     "RunJournal",
     "read_journal",

@@ -87,35 +87,18 @@ class ParallelCampaign:
 
     def _emit_telemetry(self, spec: TaskSpec, result, cached: bool) -> None:
         """Journal a per-task telemetry summary (digest + headline)."""
-        export = getattr(result, "telemetry", None)
-        if export is None:
+        from repro.telemetry.summary import headline_summary
+
+        summary = headline_summary(result)
+        if summary is None:
             return
-        fields: dict = {
-            "task": spec.label,
-            "digest": spec.digest(),
-            "telemetry_digest": result.telemetry_digest(),
-            "cached": cached,
-        }
-        channels = export.get("controller", {})
-        if channels:
-            hits = sum(c["row_hits"]["value"] for c in channels.values())
-            accesses = hits + sum(
-                c["row_misses"]["value"] + c["row_conflicts"]["value"]
-                for c in channels.values()
-            )
-            fields["reads_served"] = sum(
-                c["reads_served"]["value"] for c in channels.values()
-            )
-            fields["row_hit_rate"] = (
-                round(hits / accesses, 6) if accesses else None
-            )
-        crow = export.get("crow", {})
-        if "hit_rate" in crow:
-            fields["crow_hit_rate"] = crow["hit_rate"]["value"]
-            fields["crow_restore_fraction"] = (
-                crow["restore_fraction"]["value"]
-            )
-        self._emit("task_telemetry", **fields)
+        self._emit(
+            "task_telemetry",
+            task=spec.label,
+            digest=spec.digest(),
+            cached=cached,
+            **summary,
+        )
 
     # -- execution -------------------------------------------------------
 
@@ -191,32 +174,21 @@ class ParallelCampaign:
         :meth:`run` either way.
         """
         import dataclasses
-        import hashlib
-        import json
 
-        from repro.snapshot.warm import build_warm_image, warmup_digest
+        from repro.snapshot.warm import build_warm_image, fork_groups
 
         specs = list(specs)
         warm_dir = Path(warm_dir)
         prepared: "list[TaskSpec]" = list(specs)
-        groups: "dict[str, tuple[Path, str, list[int]]]" = {}
-        for index, spec in enumerate(specs):
-            if self.campaign.load_cached(self._path(spec)) is not None:
-                continue  # run() serves it from cache; no warm-up needed
-            warm_digest = warmup_digest(spec.config)
-            key = json.dumps(
-                [warm_digest, spec.kind, list(spec.names), spec.seed,
-                 prewarm_accesses],
-                sort_keys=True,
-            )
-            if key not in groups:
-                name = hashlib.sha256(key.encode()).hexdigest()[:20]
-                groups[key] = (
-                    warm_dir / f"{name}.warm", warm_digest, []
-                )
-            groups[key][2].append(index)
+        miss_indices = [
+            index for index, spec in enumerate(specs)
+            if self.campaign.load_cached(self._path(spec)) is None
+        ]  # cache hits are served by run(); no warm-up needed
 
-        for image, warm_digest, members in groups.values():
+        misses = [specs[i] for i in miss_indices]
+        for group in fork_groups(misses, prewarm_accesses):
+            image = warm_dir / group.filename
+            members = [miss_indices[i] for i in group.indices]
             if not image.is_file() and len(members) < 2:
                 continue  # nothing shared to amortize: run cold
             sample = specs[members[0]]
@@ -230,7 +202,7 @@ class ParallelCampaign:
                 warm_s = round(time.monotonic() - started, 3)
             self._emit(
                 "warm_fork",
-                warm_digest=warm_digest,
+                warm_digest=group.warm_digest,
                 image=str(image),
                 forks=len(members),
                 warm_s=warm_s,

@@ -17,6 +17,7 @@ events as they happen.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
@@ -25,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.exec.task import execute_task
 
-__all__ = ["ProcessPoolRunner", "TaskOutcome"]
+__all__ = ["ProcessPoolRunner", "TaskOutcome", "retry_backoff"]
 
 #: Parent poll cadence while waiting on workers (seconds).
 _POLL_INTERVAL_S = 0.02
@@ -58,6 +59,26 @@ def _label(spec) -> str:
 def _digest(spec) -> "str | None":
     digest = getattr(spec, "digest", None)
     return digest() if callable(digest) else None
+
+
+def retry_backoff(spec, attempt: int, backoff_s: float) -> float:
+    """Exponential backoff with decorrelated, *deterministic* jitter.
+
+    The base schedule is ``backoff_s * 2**(attempt-1)``; the jitter
+    multiplies it by a factor in ``[0.5, 1.0)`` derived by hashing the
+    task's content digest together with the attempt number. Tasks retry
+    on schedules that are decorrelated from one another — a batch of
+    failures cannot stampede a shared store in lockstep — yet every
+    journal records the exact same backoff for the same (task, attempt)
+    on every run, so journals stay reproducible.
+    """
+    base = backoff_s * (2 ** (attempt - 1))
+    key = _digest(spec) or _label(spec)
+    draw = hashlib.blake2b(
+        f"{key}:{attempt}".encode(), digest_size=8
+    ).digest()
+    fraction = int.from_bytes(draw, "big") / 2.0**64
+    return base * (0.5 + 0.5 * fraction)
 
 
 def _checkpoint_cycle(spec) -> "int | None":
@@ -130,8 +151,9 @@ class ProcessPoolRunner:
     :param timeout_s: per-attempt wall-clock budget; an overrunning
         worker is terminated and the attempt counts as a failure.
     :param retries: extra attempts after the first failure.
-    :param backoff_s: base of the exponential retry backoff
-        (``backoff_s * 2**(attempt-1)`` before attempt N+1).
+    :param backoff_s: base of the exponential retry backoff; the actual
+        delay before attempt N+1 is :func:`retry_backoff` — the
+        exponential schedule scaled by deterministic per-task jitter.
     :param observers: ``(event, fields)`` callables (journal, progress).
     """
 
@@ -206,7 +228,7 @@ class ProcessPoolRunner:
                 duration = time.monotonic() - started
                 error = f"{type(exc).__name__}: {exc}"
                 if attempt < max_attempts:
-                    backoff = self.backoff_s * (2 ** (attempt - 1))
+                    backoff = retry_backoff(spec, attempt, self.backoff_s)
                     self._emit(
                         "task_retry",
                         **self._task_fields(index, spec, attempt),
@@ -383,7 +405,9 @@ class ProcessPoolRunner:
         timed_out=False, crashed=False, detail=None,
     ) -> None:
         if running.attempt <= self.retries:
-            backoff = self.backoff_s * (2 ** (running.attempt - 1))
+            backoff = retry_backoff(
+                running.spec, running.attempt, self.backoff_s
+            )
             self._emit(
                 "task_retry",
                 **self._task_fields(

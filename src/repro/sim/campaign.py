@@ -23,6 +23,8 @@ import hashlib
 import json
 import os
 import pickle
+import socket
+import time
 from pathlib import Path
 
 from repro.sim.config import SystemConfig
@@ -243,6 +245,90 @@ class Campaign:
                 seed=seed,
             ),
         )
+
+    # -- single-flight claims -------------------------------------------
+
+    @staticmethod
+    def claim_path(path: Path) -> Path:
+        """The advisory claim file guarding one cache entry."""
+        return path.with_name(path.name + ".claim")
+
+    def try_claim(self, path: Path, stale_s: float = 3600.0) -> bool:
+        """Atomically claim the right to compute the entry at ``path``.
+
+        Cache *writes* are already race-free (tmp + ``os.replace``), but
+        two processes missing the same entry would both simulate it.
+        The claim file is the advisory dedup: it is created with
+        ``O_CREAT | O_EXCL`` (atomic on POSIX and network filesystems
+        that matter here) and records who holds it. Returns ``True`` if
+        this process now holds the claim and should run the task;
+        ``False`` if a live foreign claim exists — the caller should
+        wait for the result to appear instead of computing it.
+
+        Stale claims — older than ``stale_s`` seconds, unreadable, or
+        held by a dead process on this host — are broken and re-taken.
+        """
+        claim = self.claim_path(path)
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "time": time.time(),
+            },
+            sort_keys=True,
+        )
+        for _ in range(2):  # second pass after breaking a stale claim
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._claim_stale(claim, stale_s):
+                    return False
+                claim.unlink(missing_ok=True)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            return True
+        return False
+
+    def release_claim(self, path: Path) -> None:
+        """Drop the claim on ``path`` (idempotent)."""
+        self.claim_path(path).unlink(missing_ok=True)
+
+    def claim_holder(self, path: Path) -> "dict | None":
+        """The recorded holder of the claim on ``path``, if readable."""
+        return self._read_claim(self.claim_path(path))
+
+    @staticmethod
+    def _read_claim(claim: Path) -> "dict | None":
+        try:
+            holder = json.loads(claim.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return holder if isinstance(holder, dict) else None
+
+    def _claim_stale(self, claim: Path, stale_s: float) -> bool:
+        try:
+            age = time.time() - claim.stat().st_mtime
+        except OSError:
+            return False  # vanished: the holder released it already
+        if age > stale_s:
+            return True
+        holder = self._read_claim(claim)
+        if holder is None:
+            # Torn or unreadable claim: break it only once it has had
+            # ample time to finish being written.
+            return age > 5.0
+        if (
+            holder.get("host") == socket.gethostname()
+            and isinstance(holder.get("pid"), int)
+        ):
+            try:
+                os.kill(holder["pid"], 0)
+            except ProcessLookupError:
+                return True  # same host, holder process is gone
+            except PermissionError:
+                pass  # alive but not ours
+        return False
 
     def clear(self) -> int:
         """Delete every cached result; returns the number removed."""

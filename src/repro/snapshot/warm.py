@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["warmup_digest", "build_warm_image"]
+__all__ = ["warmup_digest", "build_warm_image", "ForkGroup", "fork_groups"]
 
 #: Bump when the pre-warm algorithm or its config surface changes.
 _WARM_VERSION = 1
@@ -58,6 +59,58 @@ def warmup_digest(config) -> str:
     }
     encoded = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(encoded.encode()).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class ForkGroup:
+    """Specs that can fork from one shared warm image.
+
+    ``name`` is the content-derived image file stem (callers append
+    ``.warm`` and a directory); local forking and the cluster's remote
+    warm-image transfer both address images by it, so an image built
+    anywhere in a fleet serves every compatible spec everywhere.
+    """
+
+    name: str                  # image file stem (hash of the group key)
+    warm_digest: str           # warmup_digest of the member configs
+    indices: tuple[int, ...]   # positions of the members in the input
+    prewarm_accesses: int
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.warm"
+
+
+def fork_groups(specs, prewarm_accesses: int = 200_000) -> list[ForkGroup]:
+    """Group task specs by warm-compatibility key.
+
+    Two specs land in one group exactly when a single functional
+    pre-warm can seed both: equal :func:`warmup_digest` (config surface)
+    plus identical trace identity (kind, workload names, seed) and
+    pre-warm length. Group naming is content-derived and process-stable,
+    so independently computed groups agree on image file names.
+    """
+    keyed: "dict[str, tuple[str, list[int]]]" = {}
+    order: list[str] = []
+    for index, spec in enumerate(specs):
+        warm_digest = warmup_digest(spec.config)
+        key = json.dumps(
+            [warm_digest, spec.kind, list(spec.names), spec.seed,
+             prewarm_accesses],
+            sort_keys=True,
+        )
+        if key not in keyed:
+            keyed[key] = (warm_digest, [])
+            order.append(key)
+        keyed[key][1].append(index)
+    groups = []
+    for key in order:
+        warm_digest, indices = keyed[key]
+        name = hashlib.sha256(key.encode()).hexdigest()[:20]
+        groups.append(ForkGroup(
+            name, warm_digest, tuple(indices), prewarm_accesses
+        ))
+    return groups
 
 
 def build_warm_image(

@@ -34,9 +34,11 @@ from repro.telemetry.stats import (
     StatRegistry,
     export_digest,
 )
+from repro.telemetry.summary import headline_summary
 from repro.telemetry.trace import EventTrace
 
 __all__ = [
+    "headline_summary",
     "Counter",
     "Gauge",
     "Ratio",

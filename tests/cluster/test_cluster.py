@@ -1,0 +1,375 @@
+"""End-to-end cluster tests over real localhost sockets.
+
+The acceptance bar: a fleet produces results *byte-identical* to the
+serial ``Campaign``, through worker SIGKILL, lease stealing and
+coordinator crash + journal-replay restart.
+"""
+
+import asyncio
+import json
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig
+from repro.cluster import (
+    CampaignState,
+    ClusterWorker,
+    Coordinator,
+    ResultStore,
+    fetch_status,
+)
+from repro.cluster import coordinator as coordinator_module
+from repro.cluster.protocol import pack_bytes
+from repro.cluster.state import DONE, FAILED, PENDING
+from repro.exec import RunJournal, TaskSpec, read_journal
+from repro.sim import Campaign
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+MECHS = ("baseline", "chargecache", "crow-cache")
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def _specs(mechs=MECHS):
+    return [
+        TaskSpec.workload(
+            "libq", SystemConfig(mechanism=m, telemetry=True), **RUN
+        )
+        for m in mechs
+    ]
+
+
+@pytest.fixture(autouse=True)
+def fast_drain(monkeypatch):
+    """Shrink the post-campaign drain grace; tests need no niceties."""
+    monkeypatch.setattr(coordinator_module, "_DRAIN_GRACE_S", 0.1)
+
+
+class TestFleetParity:
+    def test_two_workers_match_serial_campaign_and_oracle(self, tmp_path):
+        specs = _specs()
+        journal_path = tmp_path / "journal.jsonl"
+
+        async def go():
+            journal = RunJournal(journal_path)
+            state = CampaignState(lease_timeout_s=10.0, journal=journal)
+            for spec in specs:
+                state.add_task(spec.to_wire())
+            store = ResultStore(tmp_path / "store")
+            coordinator = Coordinator(state, store, exit_when_done=True)
+            await coordinator.start()
+            workers = [
+                asyncio.create_task(
+                    ClusterWorker(
+                        "127.0.0.1", coordinator.port,
+                        tmp_path / f"w{i}", worker_id=f"w{i}",
+                    ).run()
+                )
+                for i in range(2)
+            ]
+            snapshot = await coordinator.serve()
+            delivered = await asyncio.gather(*workers)
+            journal.close()
+            return snapshot, delivered
+
+        snapshot, delivered = asyncio.run(go())
+        assert snapshot["done"] == len(specs)
+        assert snapshot["failed"] == 0
+        assert sum(delivered) == len(specs)
+
+        # Store files are byte-identical to a serial Campaign's cache.
+        serial = Campaign(tmp_path / "serial")
+        for spec in specs:
+            serial.run_workload("libq", spec.config, **RUN)
+            fleet_bytes = (
+                tmp_path / "store" / spec.cache_filename()
+            ).read_bytes()
+            serial_bytes = (
+                tmp_path / "serial" / spec.cache_filename()
+            ).read_bytes()
+            assert fleet_bytes == serial_bytes
+
+        # Journaled telemetry digests match the cross-version oracle.
+        expected = json.loads(
+            (DATA / "expected_digests.json").read_text()
+        )
+        digests = {
+            event["task"]: event["telemetry_digest"]
+            for event in read_journal(journal_path)
+            if event["event"] == "cluster_task_done"
+        }
+        for mech in MECHS:
+            assert (
+                digests[f"wl:libq@{mech}#0"]
+                == expected[f"libq-{mech}"]["digest"]
+            )
+
+    def test_prepopulated_store_completes_without_workers(self, tmp_path):
+        """prune_against_store adopts cached results; no simulation."""
+        specs = _specs()
+        serial = Campaign(tmp_path / "store")
+        for spec in specs:
+            serial.run_workload("libq", spec.config, **RUN)
+
+        async def go():
+            state = CampaignState(lease_timeout_s=10.0)
+            for spec in specs:
+                state.add_task(spec.to_wire())
+            store = ResultStore(tmp_path / "store")
+            coordinator = Coordinator(state, store, exit_when_done=True)
+            pruned = coordinator.prune_against_store()
+            await coordinator.start()
+            snapshot = await coordinator.serve()
+            return pruned, snapshot
+
+        pruned, snapshot = asyncio.run(go())
+        assert pruned == len(specs)
+        assert snapshot["done"] == len(specs)
+
+    def test_fleet_status_over_the_wire(self, tmp_path):
+        async def go():
+            state = CampaignState(lease_timeout_s=10.0)
+            for spec in _specs():
+                state.add_task(spec.to_wire())
+            coordinator = Coordinator(
+                state, ResultStore(tmp_path / "store")
+            )
+            await coordinator.start()
+            try:
+                status = await fetch_status("127.0.0.1", coordinator.port)
+            finally:
+                await coordinator.close()
+            return status
+
+        status = asyncio.run(go())
+        assert status.total == len(MECHS)
+        assert status.done == 0
+        assert status.payload["pending"] == len(MECHS)
+        assert "store" in status.payload
+        rendered = status.render()
+        assert "campaign" in rendered and "fleet" in rendered
+
+
+class TestWorkerDeath:
+    def test_sigkill_mid_lease_recovers_with_identical_digest(
+        self, tmp_path
+    ):
+        """The tentpole failure mode: a worker is SIGKILLed holding a
+        lease; its task is re-leased to a survivor that resumes from the
+        victim's checkpoint, and the result is byte-identical to a
+        serial run."""
+        spec = TaskSpec.workload(
+            "libq",
+            SystemConfig(mechanism="crow-cache", telemetry=True),
+            instructions=30_000, warmup_instructions=2_000,
+        )
+        checkpoints = tmp_path / "ckpt"
+        checkpoints.mkdir()
+        journal_path = tmp_path / "journal.jsonl"
+
+        async def go():
+            journal = RunJournal(journal_path)
+            state = CampaignState(lease_timeout_s=2.0, journal=journal)
+            state.add_task(spec.to_wire())
+            store = ResultStore(tmp_path / "store")
+            coordinator = Coordinator(state, store, exit_when_done=True)
+            await coordinator.start()
+
+            env = dict(os.environ)
+            src = Path(__file__).resolve().parents[2] / "src"
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(src)] + env.get("PYTHONPATH", "").split(os.pathsep)
+            )
+            victim = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "cluster", "work",
+                    "--connect", f"127.0.0.1:{coordinator.port}",
+                    "--store", str(tmp_path / "victim-store"),
+                    "--id", "victim",
+                    "--checkpoint-dir", str(checkpoints),
+                    "--checkpoint-every", "500",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            try:
+                # Kill only once the victim has provably checkpointed
+                # mid-simulation.
+                deadline = time.monotonic() + 90.0
+                while (
+                    not list(checkpoints.glob("*.ckpt"))
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                assert list(checkpoints.glob("*.ckpt")), (
+                    "victim never wrote a checkpoint"
+                )
+                victim.kill()
+            finally:
+                if victim.poll() is None:
+                    victim.kill()
+                victim.wait()
+
+            survivor = ClusterWorker(
+                "127.0.0.1", coordinator.port, tmp_path / "surv-store",
+                worker_id="survivor",
+                checkpoint_dir=checkpoints, checkpoint_every=500,
+            )
+            worker_task = asyncio.create_task(survivor.run())
+            snapshot = await coordinator.serve()
+            await worker_task
+            journal.close()
+            return snapshot, store
+
+        snapshot, store = asyncio.run(go())
+        assert snapshot["done"] == 1 and snapshot["failed"] == 0
+        assert snapshot["steals"] == 1  # survivor took the victim's task
+
+        events = [e["event"] for e in read_journal(journal_path)]
+        assert "lease_released" in events or "lease_expired" in events
+
+        reference = spec.run()  # uninterrupted serial reference
+        recovered = store.get_result(spec)
+        assert recovered == reference
+        assert (
+            recovered.telemetry_digest() == reference.telemetry_digest()
+        )
+
+
+class TestCoordinatorRestart:
+    def test_journal_replay_resumes_campaign(self, tmp_path):
+        specs = _specs()
+        journal_path = tmp_path / "journal.jsonl"
+        store = ResultStore(tmp_path / "store")
+
+        # -- session 1: one task done, one in flight, then "SIGKILL" --
+        # (no clean campaign end is journaled, like a dead process)
+        journal = RunJournal(journal_path)
+        state = CampaignState(lease_timeout_s=10.0, journal=journal)
+        for spec in specs:
+            state.add_task(spec.to_wire())
+        first = store.put_result(specs[0], specs[0].run())
+        lease = state.next_lease("w1")
+        state.complete(
+            lease["lease_id"],
+            telemetry_digest=first.telemetry_digest(), duration_s=1.0,
+        )
+        state.next_lease("w1")  # in flight at crash time
+        journal.close()
+
+        # -- session 2: replay, prune, finish with one worker ---------
+        async def go():
+            journal2 = RunJournal(journal_path)
+            events = read_journal(journal_path)
+            state2 = CampaignState.replay(
+                events, lease_timeout_s=10.0, journal=journal2
+            )
+            counts = state2.counts()
+            assert counts[DONE] == 1
+            assert counts[PENDING] == 2  # the dead lease came back
+            assert not state2.leases
+            coordinator = Coordinator(
+                state2, store, exit_when_done=True
+            )
+            assert coordinator.prune_against_store() == 0
+            await coordinator.start()
+            worker = asyncio.create_task(
+                ClusterWorker(
+                    "127.0.0.1", coordinator.port, tmp_path / "w",
+                    worker_id="w2",
+                ).run()
+            )
+            snapshot = await coordinator.serve()
+            await worker
+            journal2.close()
+            return snapshot
+
+        snapshot = asyncio.run(go())
+        assert snapshot["done"] == len(specs)
+        assert snapshot["failed"] == 0
+        for spec in specs:
+            assert store.get_result(spec) is not None
+
+    def test_journal_done_without_store_entry_is_recomputed(
+        self, tmp_path
+    ):
+        """A done-mark in the journal does not stand without bytes."""
+        spec = _specs()[0]
+        journal_path = tmp_path / "journal.jsonl"
+        journal = RunJournal(journal_path)
+        state = CampaignState(journal=journal)
+        state.add_task(spec.to_wire())
+        state.complete(None, digest=spec.digest(), worker="w1",
+                       telemetry_digest="feedbeefdeadc0de")
+        journal.close()
+
+        async def go():
+            events = read_journal(journal_path)
+            state2 = CampaignState.replay(events)
+            assert state2.counts()[DONE] == 1
+            store = ResultStore(tmp_path / "store")  # empty!
+            coordinator = Coordinator(state2, store, exit_when_done=True)
+            coordinator.prune_against_store()
+            assert state2.counts()[PENDING] == 1  # re-queued
+            await coordinator.start()
+            worker = asyncio.create_task(
+                ClusterWorker(
+                    "127.0.0.1", coordinator.port, tmp_path / "w",
+                    worker_id="w1",
+                ).run()
+            )
+            snapshot = await coordinator.serve()
+            await worker
+            return snapshot, store
+
+        snapshot, store = asyncio.run(go())
+        assert snapshot["done"] == 1
+        result = store.get_result(spec)
+        assert result is not None
+        assert result.telemetry_digest() != "feedbeefdeadc0de"
+
+
+class TestStoreConflict:
+    def test_conflicting_delivery_is_fatal_and_structured(self, tmp_path):
+        """A result whose telemetry digest contradicts the cached copy
+        is a broken-determinism alarm: structured error, fatal failure,
+        cached bytes untouched."""
+        spec, other = _specs(("baseline", "crow-cache"))
+        good = spec.run()
+        bad = other.run()  # a different simulation's result
+
+        events = []
+        store = ResultStore(tmp_path / "store")
+        store.put_result(spec, good)
+        before = store.result_path(spec).read_bytes()
+        state = CampaignState(
+            journal=lambda e, f: events.append({"event": e, **f})
+        )
+        state.add_task(spec.to_wire())
+        coordinator = Coordinator(state, store)
+        lease = state.next_lease("w1")
+        reply = coordinator._dispatch(
+            {
+                "type": "result",
+                "lease_id": lease["lease_id"],
+                "digest": spec.digest(),
+                "worker": "w1",
+                "payload": pack_bytes(pickle.dumps(bad)),
+            },
+            "w1",
+        )
+        assert reply["type"] == "error"
+        assert reply["code"] == "store_conflict"
+        assert state.tasks[spec.digest()].state == FAILED  # fatal
+        assert store.result_path(spec).read_bytes() == before
+        assert any(e["event"] == "store_conflict" for e in events)
+        assert any(
+            e["event"] == "cluster_task_exhausted" and e["fatal"]
+            for e in events
+        )

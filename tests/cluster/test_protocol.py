@@ -1,0 +1,141 @@
+"""Wire-protocol tests: framing, torn streams, task wire forms."""
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro import SystemConfig
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    decode_frame,
+    encode_frame,
+    pack_bytes,
+    read_frame,
+    unpack_bytes,
+)
+from repro.errors import ClusterError, ConfigError
+from repro.exec import TaskSpec
+
+
+class TestFrames:
+    def test_round_trip(self):
+        message = {"type": "hello", "worker": "w1", "pid": 42,
+                   "nested": {"a": [1, 2, 3]}}
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_frame_needs_a_type(self):
+        with pytest.raises(ClusterError):
+            encode_frame({"worker": "w1"})
+        with pytest.raises(ClusterError):
+            encode_frame("not a dict")
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ClusterError):
+            decode_frame(b"\x00\x00")
+
+    def test_length_body_mismatch_rejected(self):
+        data = encode_frame({"type": "ack"})
+        with pytest.raises(ClusterError):
+            decode_frame(data[:-1])
+
+    def test_non_json_body_rejected(self):
+        body = b"\xff\xfe not json"
+        data = len(body).to_bytes(4, "big") + body
+        with pytest.raises(ClusterError):
+            decode_frame(data)
+
+    def test_oversized_frame_rejected(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(ClusterError):
+            encode_frame({"type": "x", "pad": "y" * 64})
+
+    def test_pack_bytes_round_trip(self):
+        blob = bytes(range(256))
+        assert unpack_bytes(pack_bytes(blob)) == blob
+
+    def test_unpack_rejects_garbage(self):
+        with pytest.raises(ClusterError):
+            unpack_bytes("!!! not base64 !!!")
+
+
+class TestStreamFraming:
+    """read_frame over real asyncio streams."""
+
+    def _pipe_read(self, payload: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            frames = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                frames.append(frame)
+            return frames
+
+        return asyncio.run(go())
+
+    def test_multiple_frames_one_stream(self):
+        data = encode_frame({"type": "a"}) + encode_frame({"type": "b"})
+        assert [f["type"] for f in self._pipe_read(data)] == ["a", "b"]
+
+    def test_clean_eof_returns_none(self):
+        assert self._pipe_read(b"") == []
+
+    def test_torn_header_raises(self):
+        with pytest.raises(ClusterError, match="torn header"):
+            self._pipe_read(b"\x00\x00")
+
+    def test_torn_body_raises(self):
+        data = encode_frame({"type": "ack"})
+        with pytest.raises(ClusterError, match="torn body"):
+            self._pipe_read(data[:-2])
+
+    def test_oversized_announcement_raises(self):
+        header = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ClusterError, match="ceiling"):
+            self._pipe_read(header)
+
+
+class TestTaskWire:
+    def _spec(self):
+        return TaskSpec.workload(
+            "libq", SystemConfig(mechanism="crow-cache", telemetry=True),
+            instructions=2_000, warmup_instructions=500,
+        )
+
+    def test_round_trip_preserves_identity(self):
+        spec = self._spec()
+        wire = spec.to_wire()
+        back = TaskSpec.from_wire(wire)
+        # Identity is content-addressed: the digest IS the contract.
+        assert back.digest() == spec.digest() == wire["digest"]
+        assert back.cache_filename() == spec.cache_filename()
+        assert back.names == spec.names and back.kind == spec.kind
+        assert back.config.mechanism == spec.config.mechanism
+        assert wire["label"] == spec.label
+
+    def test_wire_is_json_safe(self):
+        import json
+
+        json.dumps(self._spec().to_wire())
+
+    def test_digest_mismatch_rejected(self):
+        wire = self._spec().to_wire()
+        wire["digest"] = "0" * 24
+        with pytest.raises(ConfigError, match="digest mismatch"):
+            TaskSpec.from_wire(wire)
+
+    def test_non_spec_payload_rejected(self):
+        wire = self._spec().to_wire()
+        wire["spec"] = pack_bytes(pickle.dumps({"not": "a spec"}))
+        with pytest.raises(ConfigError, match="not a TaskSpec"):
+            TaskSpec.from_wire(wire)
+
+    def test_garbage_payload_rejected(self):
+        wire = self._spec().to_wire()
+        wire["spec"] = "AAAA"
+        with pytest.raises(ConfigError, match="undecodable"):
+            TaskSpec.from_wire(wire)

@@ -1,0 +1,293 @@
+"""CampaignState tests: leases, expiry, steals, retries, replay.
+
+All timing here runs on a fake clock — no sleeping, fully
+deterministic.
+"""
+
+from repro import SystemConfig
+from repro.cluster import CampaignState
+from repro.cluster.state import DONE, FAILED, LEASED, PENDING
+from repro.exec import TaskSpec
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _wire(mechanism="baseline", name="libq"):
+    spec = TaskSpec.workload(
+        name, SystemConfig(mechanism=mechanism, telemetry=True),
+        instructions=2_000, warmup_instructions=500,
+    )
+    return spec.to_wire()
+
+
+def _state(clock=None, journal=None, **kwargs):
+    kwargs.setdefault("lease_timeout_s", 10.0)
+    return CampaignState(
+        clock=clock if clock is not None else FakeClock(),
+        journal=journal, **kwargs,
+    )
+
+
+class TestLeases:
+    def test_grant_marks_leased_and_payload_is_complete(self):
+        state = _state()
+        wire = _wire()
+        state.add_task(wire)
+        lease = state.next_lease("w1")
+        assert lease["task"] == wire
+        assert lease["attempt"] == 1
+        assert lease["lease_timeout_s"] == 10.0
+        entry = state.tasks[wire["digest"]]
+        assert entry.state == LEASED and entry.worker == "w1"
+        assert state.next_lease("w2") is None  # nothing else pending
+
+    def test_duplicate_add_is_ignored(self):
+        state = _state()
+        wire = _wire()
+        assert state.add_task(wire) is True
+        assert state.add_task(dict(wire)) is False
+        assert len(state.tasks) == 1
+
+    def test_heartbeat_renews_and_carries_progress(self):
+        clock = FakeClock()
+        state = _state(clock)
+        state.add_task(_wire())
+        lease = state.next_lease("w1")
+        clock.advance(8.0)
+        assert state.heartbeat(
+            lease["lease_id"], {"checkpoint_cycle": 123}
+        )
+        clock.advance(8.0)  # 16s since grant, 8s since heartbeat
+        assert state.expire_stale() == []
+        live = state.leases[lease["lease_id"]]
+        assert live.progress == {"checkpoint_cycle": 123}
+
+    def test_heartbeat_of_revoked_lease_returns_false(self):
+        state = _state()
+        state.add_task(_wire())
+        lease = state.next_lease("w1")
+        state.worker_left("w1")
+        assert state.heartbeat(lease["lease_id"]) is False
+
+
+class TestStaleHeartbeatRevocation:
+    def test_stale_lease_is_revoked_and_requeued(self):
+        clock = FakeClock()
+        events = []
+        state = _state(clock, journal=lambda e, f: events.append((e, f)))
+        wire = _wire()
+        state.add_task(wire)
+        lease = state.next_lease("w1")
+        clock.advance(10.1)
+        assert state.expire_stale() == [wire["digest"]]
+        assert state.expired == 1
+        assert lease["lease_id"] not in state.leases
+        entry = state.tasks[wire["digest"]]
+        assert entry.state == PENDING
+        assert entry.last_worker == "w1"
+        assert any(e == "lease_expired" for e, _ in events)
+
+    def test_regrant_to_other_worker_counts_as_steal(self):
+        clock = FakeClock()
+        state = _state(clock)
+        wire = _wire()
+        state.add_task(wire)
+        state.next_lease("w1")
+        clock.advance(10.1)
+        state.expire_stale()
+        release = state.next_lease("w2")
+        assert release["attempt"] == 1  # expiry is not a failed attempt
+        assert state.steals == 1
+
+    def test_regrant_to_same_worker_is_not_a_steal(self):
+        clock = FakeClock()
+        state = _state(clock)
+        state.add_task(_wire())
+        state.next_lease("w1")
+        clock.advance(10.1)
+        state.expire_stale()
+        assert state.next_lease("w1") is not None
+        assert state.steals == 0
+
+    def test_fresh_lease_not_revoked(self):
+        clock = FakeClock()
+        state = _state(clock)
+        state.add_task(_wire())
+        state.next_lease("w1")
+        clock.advance(9.9)
+        assert state.expire_stale() == []
+
+
+class TestOutcomes:
+    def test_complete_via_lease(self):
+        state = _state()
+        wire = _wire()
+        state.add_task(wire)
+        state.worker_joined("w1")
+        lease = state.next_lease("w1")
+        assert state.complete(
+            lease["lease_id"], telemetry_digest="abcd", duration_s=1.5
+        )
+        entry = state.tasks[wire["digest"]]
+        assert entry.state == DONE
+        assert entry.telemetry_digest == "abcd"
+        assert state.workers["w1"].done == 1
+        assert state.finished
+
+    def test_late_result_after_revocation_is_accepted(self):
+        clock = FakeClock()
+        state = _state(clock)
+        wire = _wire()
+        state.add_task(wire)
+        lease = state.next_lease("w1")
+        clock.advance(10.1)
+        state.expire_stale()
+        # w1 finishes anyway and delivers under its dead lease id.
+        assert state.complete(
+            lease["lease_id"], digest=wire["digest"], worker="w1",
+            telemetry_digest="abcd",
+        )
+        assert state.tasks[wire["digest"]].state == DONE
+        assert state.late_results == 1
+
+    def test_double_delivery_is_idempotent(self):
+        state = _state()
+        wire = _wire()
+        state.add_task(wire)
+        lease = state.next_lease("w1")
+        assert state.complete(lease["lease_id"])
+        assert not state.complete(None, digest=wire["digest"])
+
+    def test_retry_until_exhausted(self):
+        events = []
+        state = _state(
+            journal=lambda e, f: events.append((e, f)), max_attempts=2
+        )
+        wire = _wire()
+        state.add_task(wire)
+        lease = state.next_lease("w1")
+        assert state.fail(lease["lease_id"], error="boom") is True
+        assert state.retries == 1
+        assert state.tasks[wire["digest"]].state == PENDING
+        lease = state.next_lease("w1")
+        assert lease["attempt"] == 2
+        assert state.fail(lease["lease_id"], error="boom again") is False
+        entry = state.tasks[wire["digest"]]
+        assert entry.state == FAILED and entry.error == "boom again"
+        assert state.finished
+        names = [e for e, _ in events]
+        assert "cluster_task_retry" in names
+        assert "cluster_task_exhausted" in names
+
+    def test_fatal_failure_skips_retries(self):
+        state = _state(max_attempts=3)
+        wire = _wire()
+        state.add_task(wire)
+        lease = state.next_lease("w1")
+        assert state.fail(
+            lease["lease_id"], error="digest conflict", fatal=True
+        ) is False
+        assert state.tasks[wire["digest"]].state == FAILED
+
+    def test_worker_loss_requeues_all_its_leases(self):
+        state = _state()
+        for mech in ("baseline", "crow-cache"):
+            state.add_task(_wire(mech))
+        state.worker_joined("w1")
+        assert state.next_lease("w1") and state.next_lease("w1")
+        assert state.worker_left("w1") == 2
+        assert state.counts()[PENDING] == 2
+        assert not state.workers["w1"].connected
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        state = _state(clock)
+        for mech in ("baseline", "crow-cache", "salp"):
+            state.add_task(_wire(mech))
+        state.worker_joined("w1", {"pid": 7})
+        lease = state.next_lease("w1")
+        state.heartbeat(lease["lease_id"], {"checkpoint_cycle": 50})
+        state.complete(None, digest=_wire("crow-cache")["digest"],
+                       worker="w1", duration_s=2.0)
+        snap = state.snapshot()
+        assert snap["total"] == 3
+        assert snap["done"] == 1
+        assert snap["leased"] == 1
+        assert snap["pending"] == 1
+        assert snap["eta_s"] is not None
+        (w,) = snap["workers"]
+        assert w["worker"] == "w1" and w["connected"]
+        (row,) = w["leases"]
+        assert row["progress"] == {"checkpoint_cycle": 50}
+
+    def test_eta_scales_with_fleet_size(self):
+        state = _state()
+        for mech in ("baseline", "crow-cache", "salp", "chargecache"):
+            state.add_task(_wire(mech))
+        state.worker_joined("w1")
+        state.worker_joined("w2")
+        lease = state.next_lease("w1")
+        state.complete(lease["lease_id"], duration_s=10.0)
+        # 3 remaining * 10s mean / 2 connected workers
+        assert state.eta_s() == 15.0
+
+
+class TestReplay:
+    def test_replay_restores_durable_facts_only(self):
+        events = []
+        state = _state(journal=lambda e, f: events.append(
+            {"event": e, **f}
+        ))
+        wires = [_wire(m) for m in
+                 ("baseline", "crow-cache", "salp", "chargecache")]
+        for wire in wires:
+            state.add_task(wire)
+        # done, failed, retried, and still-leased tasks
+        lease = state.next_lease("w1")
+        state.complete(lease["lease_id"], telemetry_digest="d0")
+        lease = state.next_lease("w1")
+        state.fail(lease["lease_id"], error="x", fatal=True)
+        lease = state.next_lease("w1")
+        state.fail(lease["lease_id"], error="flaky")  # requeued, 1 attempt
+        state.next_lease("w1")  # leased at crash time
+
+        replayed = CampaignState.replay(events, clock=FakeClock())
+        assert len(replayed.tasks) == 4
+        counts = replayed.counts()
+        assert counts[DONE] == 1 and counts[FAILED] == 1
+        assert counts[PENDING] == 2  # leases died with the process
+        assert counts[LEASED] == 0
+        assert not replayed.leases
+        retried = replayed.tasks[wires[2]["digest"]]
+        assert retried.attempts == 1  # consumed attempts survive
+
+    def test_replayed_wire_is_executable(self):
+        events = []
+        state = _state(journal=lambda e, f: events.append(
+            {"event": e, **f}
+        ))
+        wire = _wire()
+        state.add_task(wire)
+        replayed = CampaignState.replay(events, clock=FakeClock())
+        spec = TaskSpec.from_wire(replayed.tasks[wire["digest"]].wire)
+        assert spec.digest() == wire["digest"]
+
+    def test_replay_tolerates_foreign_events(self):
+        events = [
+            {"event": "campaign_start", "total": 3},
+            {"event": "task_telemetry", "digest": "zz"},
+            {"event": "cluster_task_done", "digest": "unknown"},
+        ]
+        replayed = CampaignState.replay(events, clock=FakeClock())
+        assert not replayed.tasks

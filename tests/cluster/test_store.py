@@ -1,0 +1,186 @@
+"""ResultStore tests: conflicts, verbatim bytes, warm images, claims."""
+
+import pickle
+
+import pytest
+
+from repro import SystemConfig
+from repro.cluster import ResultStore
+from repro.errors import ClusterError, StoreMismatchError
+from repro.exec import TaskSpec
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+
+
+def _spec(mechanism="baseline"):
+    return TaskSpec.workload(
+        "libq", SystemConfig(mechanism=mechanism, telemetry=True), **RUN
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return _spec().run()
+
+
+@pytest.fixture(scope="module")
+def other_result():
+    return _spec("crow-cache").run()
+
+
+class TestResults:
+    def test_round_trip(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        assert store.get_result(spec) is None
+        store.put_result(spec, result)
+        assert store.get_result(spec) == result
+        assert store.result_path(spec).name == spec.cache_filename()
+
+    def test_cache_layout_matches_serial_campaign(self, tmp_path, result):
+        """A cluster store directory IS a Campaign cache directory."""
+        from repro.sim import Campaign
+
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put_result(spec, result)
+        campaign = Campaign(tmp_path)
+        cached = campaign.run_workload("libq", spec.config, **RUN)
+        assert cached == result
+        assert campaign.hits == 1 and campaign.misses == 0
+
+    def test_matching_redelivery_keeps_first_bytes(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put_result(spec, result)
+        before = store.result_path(spec).read_bytes()
+        returned = store.put_result(spec, pickle.loads(before))
+        assert returned == result
+        assert store.result_path(spec).read_bytes() == before
+
+    def test_conflicting_delivery_raises_and_preserves(
+        self, tmp_path, result, other_result
+    ):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put_result(spec, result)
+        before = store.result_path(spec).read_bytes()
+        with pytest.raises(StoreMismatchError) as info:
+            store.put_result(spec, other_result)
+        assert info.value.task_digest == spec.digest()
+        assert info.value.cached == result.telemetry_digest()
+        assert info.value.computed == other_result.telemetry_digest()
+        assert store.conflicts == 1
+        assert store.result_path(spec).read_bytes() == before
+
+    def test_put_bytes_stores_wire_payload_verbatim(
+        self, tmp_path, result
+    ):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        payload = pickle.dumps(result)
+        store.put_result_bytes(spec, payload)
+        assert store.result_path(spec).read_bytes() == payload
+        assert store.get_result_bytes(spec) == payload
+
+    def test_put_bytes_conflict_checked(
+        self, tmp_path, result, other_result
+    ):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put_result(spec, result)
+        with pytest.raises(StoreMismatchError):
+            store.put_result_bytes(spec, pickle.dumps(other_result))
+
+    def test_put_bytes_rejects_garbage(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ClusterError, match="undecodable"):
+            store.put_result_bytes(_spec(), b"not a pickle")
+        with pytest.raises(ClusterError, match="SimResult"):
+            store.put_result_bytes(_spec(), pickle.dumps([1, 2]))
+
+    def test_non_result_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ClusterError):
+            store.put_result(_spec(), {"ipc": 1.0})
+
+
+class TestWarmImages:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_warm_bytes("abc.warm") is None
+        path = store.put_warm_bytes("abc.warm", b"payload")
+        assert path == store.warm_path("abc.warm")
+        assert store.get_warm_bytes("abc.warm") == b"payload"
+
+    def test_existing_image_not_overwritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_warm_bytes("abc.warm", b"first")
+        store.put_warm_bytes("abc.warm", b"second")
+        assert store.get_warm_bytes("abc.warm") == b"first"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["../escape", "a/b.warm", "", "..", ".", "a b.warm", "a\x00b"],
+    )
+    def test_illegal_names_rejected(self, tmp_path, name):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ClusterError, match="illegal"):
+            store.warm_path(name)
+
+
+class TestSingleFlight:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        claim = store.claim(spec)
+        assert claim is not None
+        assert store.claim(spec) is None
+        claim.release()
+        with store.claim(spec) as second:
+            assert second is not None
+        assert store.claim(spec) is not None  # context released it
+
+    def test_wait_for_sees_foreign_result(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        foreign = store.claim(spec)
+        polls = []
+
+        def sleep(seconds):
+            polls.append(seconds)
+            # The foreign computer finishes on the second poll.
+            if len(polls) == 2:
+                store.campaign.store(store.result_path(spec), result)
+
+        got = store.wait_for(spec, timeout_s=5.0, sleep=sleep)
+        assert got == result
+        assert len(polls) >= 2
+        foreign.release()
+
+    def test_wait_for_gives_up_when_claim_vanishes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        claim = store.claim(spec)
+
+        def sleep(seconds):
+            claim.release()  # holder dies without a result
+
+        assert store.wait_for(spec, timeout_s=5.0, sleep=sleep) is None
+
+    def test_wait_for_times_out(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        claim = store.claim(spec)
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        assert store.wait_for(
+            spec, timeout_s=1.0, poll_s=0.3, clock=clock, sleep=sleep
+        ) is None
+        claim.release()

@@ -210,6 +210,58 @@ class TestJournal:
             journal.record("task_start", task="a")
         assert not synced
 
+    def test_fsync_every_batches_syncs(self, tmp_path, monkeypatch):
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        with RunJournal(tmp_path / "j.jsonl", fsync_every=3) as journal:
+            for i in range(7):
+                journal.record("tick", i=i)
+                # One sync per full batch of three records.
+                assert len(synced) == (i + 1) // 3
+        assert len(read_journal(tmp_path / "j.jsonl")) == 7
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl.gz"
+        with RunJournal(path) as journal:
+            journal.record("task_start", task="a")
+            journal.record("task_done", task="a", duration_s=0.5)
+        import gzip
+
+        # Actually compressed on disk, not plain text with a .gz name.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        raw = gzip.decompress(path.read_bytes()).decode()
+        assert raw.count("\n") == 2
+        events = read_journal(path)
+        assert [e["event"] for e in events] == ["task_start", "task_done"]
+
+    def test_gzip_append_across_sessions(self, tmp_path):
+        # A killed-and-restarted writer appends a second gzip member;
+        # read_journal must see one continuous stream.
+        path = tmp_path / "j.jsonl.gz"
+        with RunJournal(path) as journal:
+            journal.record("campaign_start", total=1)
+        with RunJournal(path) as journal:
+            journal.record("campaign_start", total=2)
+        assert [e["total"] for e in read_journal(path)] == [1, 2]
+
+    def test_gzip_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl.gz"
+        with RunJournal(path) as journal:
+            journal.record("task_done", task="a")
+        intact = path.read_bytes()
+        import gzip
+
+        # A writer killed mid-flush leaves a truncated final member.
+        torn = gzip.compress(b'{"event": "task_do')
+        path.write_bytes(intact + torn[: len(torn) // 2])
+        events = read_journal(path)
+        assert [e["event"] for e in events] == ["task_done"]
+
 
 class TestTaskTelemetryEvents:
     def test_run_and_cache_hit_emit_matching_digests(self, tmp_path):

@@ -180,3 +180,42 @@ class TestObservers:
         assert start["task"] == done["task"]
         assert start["digest"] == done["digest"]
         assert done["duration_s"] >= 0
+
+
+class TestRetryBackoff:
+    """Deterministic decorrelated jitter on the retry schedule."""
+
+    def test_deterministic_for_same_task_and_attempt(self):
+        from repro.exec import retry_backoff
+
+        spec = _spec(seed=3)
+        draws = {retry_backoff(spec, 2, 1.0) for _ in range(10)}
+        assert len(draws) == 1
+
+    def test_jitter_stays_within_half_open_band(self):
+        from repro.exec import retry_backoff
+
+        for attempt in (1, 2, 3, 4):
+            base = 0.25 * (2 ** (attempt - 1))
+            delay = retry_backoff(_spec(seed=7), attempt, 0.25)
+            assert base * 0.5 <= delay < base
+
+    def test_schedule_grows_exponentially(self):
+        from repro.exec import retry_backoff
+
+        spec = _spec(seed=1)
+        delays = [retry_backoff(spec, a, 1.0) for a in (1, 2, 3, 4)]
+        # Jitter never cancels the doubling: band [0.5b, b) for base b.
+        assert all(late > early for early, late in zip(delays, delays[1:]))
+
+    def test_decorrelated_across_tasks_and_attempts(self):
+        from repro.exec import retry_backoff
+
+        specs = [_spec(seed=s) for s in range(6)]
+        same_attempt = {retry_backoff(s, 1, 1.0) for s in specs}
+        assert len(same_attempt) == len(specs)  # no stampede in lockstep
+        one_spec = {
+            retry_backoff(specs[0], a, 1.0) / (2 ** (a - 1))
+            for a in (1, 2, 3, 4)
+        }
+        assert len(one_spec) == 4  # fresh draw per attempt, not scaled

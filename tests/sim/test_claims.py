@@ -1,0 +1,81 @@
+"""Single-flight advisory claim tests for the Campaign disk cache."""
+
+import json
+import os
+import time
+
+from repro.sim import Campaign
+
+
+def _entry(tmp_path):
+    return tmp_path / "wl-libq-abc.pkl"
+
+
+class TestClaims:
+    def test_claim_is_exclusive(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        assert campaign.try_claim(entry) is True
+        assert campaign.try_claim(entry) is False
+
+    def test_release_frees_and_is_idempotent(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        assert campaign.try_claim(entry)
+        campaign.release_claim(entry)
+        campaign.release_claim(entry)  # no-op, no error
+        assert campaign.try_claim(entry) is True
+
+    def test_holder_records_pid_host_time(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        campaign.try_claim(entry)
+        holder = campaign.claim_holder(entry)
+        assert holder["pid"] == os.getpid()
+        assert isinstance(holder["host"], str) and holder["host"]
+        assert holder["time"] <= time.time()
+
+    def test_stale_claim_is_broken_by_age(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        campaign.try_claim(entry)
+        claim = campaign.claim_path(entry)
+        old = time.time() - 7200
+        os.utime(claim, (old, old))
+        # Same-host live-pid check would keep it; age alone breaks it.
+        assert campaign.try_claim(entry, stale_s=3600.0) is True
+
+    def test_dead_holder_on_this_host_is_broken(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        campaign.try_claim(entry)
+        claim = campaign.claim_path(entry)
+        holder = json.loads(claim.read_text())
+        # Forge a dead pid: fork a child that exits immediately.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        holder["pid"] = pid
+        claim.write_text(json.dumps(holder))
+        assert campaign.try_claim(entry) is True
+
+    def test_torn_claim_breaks_only_after_grace(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        claim = campaign.claim_path(entry)
+        claim.write_text("{ torn")  # unreadable, freshly written
+        assert campaign.try_claim(entry) is False
+        old = time.time() - 30  # past the 5s being-written grace
+        os.utime(claim, (old, old))
+        assert campaign.try_claim(entry) is True
+
+    def test_foreign_live_claim_is_respected(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        entry = _entry(tmp_path)
+        claim = campaign.claim_path(entry)
+        # A live claim from another host: unknown liveness, keep it.
+        claim.write_text(json.dumps(
+            {"pid": 1, "host": "elsewhere", "time": time.time()}
+        ))
+        assert campaign.try_claim(entry) is False
