@@ -751,6 +751,103 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return compare(doc, load_results(args.compare), threshold=args.threshold)
 
 
+def _probe_config(args: argparse.Namespace) -> SystemConfig:
+    """Build the device config a probe run instantiates (and verifies)."""
+    from dataclasses import replace
+
+    from repro.dram.geometry import DramGeometry
+
+    geometry_changes = {}
+    if args.banks is not None:
+        geometry_changes["banks_per_rank"] = args.banks
+    if args.rows_per_bank is not None:
+        geometry_changes["rows_per_bank"] = args.rows_per_bank
+    if args.rows_per_subarray is not None:
+        geometry_changes["rows_per_subarray"] = args.rows_per_subarray
+    geometry = DramGeometry(**geometry_changes) if geometry_changes else None
+    kwargs = dict(
+        mechanism=args.mechanism,
+        density_gbit=args.density,
+        copy_rows=args.copy_rows,
+        refresh_window_ms=args.refresh_window,
+        target_refresh_window_ms=args.target_window,
+        weak_rows_per_subarray=args.weak_rows,
+        seed=args.seed,
+    )
+    if geometry is not None:
+        kwargs["geometry"] = replace(geometry, density_gbit=args.density)
+    return SystemConfig(**kwargs)
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.probe import ProbeSession, discover
+
+    config = _probe_config(args)
+    session = ProbeSession(
+        config, channel=args.channel, shadow=not args.no_shadow
+    )
+    probe_banks = (
+        [int(bank) for bank in args.probe_banks.split(",")]
+        if args.probe_banks
+        else None
+    )
+    profile = discover(
+        session,
+        probe_banks=probe_banks,
+        retention_interval_ms=args.retention_interval,
+    )
+    payload: dict = {"profile": profile.to_dict()}
+
+    report = None
+    if args.action in ("verify", "report"):
+        report = profile.verify_against(config)
+        payload["report"] = report.to_dict()
+    if args.json is not None:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
+
+    table = TextTable(
+        f"inferred profile: {config.mechanism} channel {args.channel}",
+        ["parameter", "value", "confidence", "technique"],
+    )
+    for entry in profile.parameters.values():
+        table.add_row(
+            entry.name,
+            "?" if entry.value is None else str(entry.value),
+            entry.confidence,
+            entry.note,
+        )
+    print(table.render())
+    weak_total = sum(len(rows) for rows in profile.weak_rows.values())
+    print(
+        f"weak rows: {weak_total} across banks {profile.probed_banks} "
+        f"at {profile.retention_interval_ms} ms; duplicate map entries: "
+        f"{len(profile.duplicate_map)}"
+    )
+    attempts = profile.budget.get("probe.attempts", 0)
+    commits = profile.budget.get("probe.commits", 0)
+    print(f"probe budget: {attempts} attempts, {commits} committed")
+
+    if report is not None:
+        print(report.summary())
+        for diff in report.mismatched:
+            print(
+                f"  MISMATCH {diff.name}: inferred {diff.inferred!r} "
+                f"!= actual {diff.actual!r}"
+            )
+        if args.action == "verify":
+            return 0 if report.ok else 1
+    return 0
+
+
 def _add_matrix_args(parser, workloads_required: bool = True) -> None:
     """Attach the shared workloads x mechanisms task-matrix options."""
     if workloads_required:
@@ -1068,6 +1165,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged violation report as JSON to FILE",
     )
     check.set_defaults(func=_cmd_check)
+
+    probe = sub.add_parser(
+        "probe",
+        help="infer DRAM structure/timings from raw command probing "
+             "(repro.probe) and verify against the generating config",
+    )
+    probe.add_argument(
+        "action", choices=("discover", "verify", "report"),
+        help="discover prints the inferred profile; verify diffs it "
+             "against the generating config and exits non-zero on any "
+             "mismatch; report does the diff but always exits zero",
+    )
+    probe.add_argument("--mechanism", default="baseline",
+                       choices=MECHANISMS)
+    probe.add_argument("--density", type=int, default=8,
+                       choices=(8, 16, 32, 64))
+    probe.add_argument("--banks", type=int, default=None, metavar="N",
+                       help="banks per rank (default: geometry default)")
+    probe.add_argument("--rows-per-bank", type=int, default=None,
+                       metavar="N")
+    probe.add_argument("--rows-per-subarray", type=int, default=None,
+                       metavar="N")
+    probe.add_argument("--copy-rows", type=int, default=8, metavar="N",
+                       help="copy rows per subarray for CROW mechanisms")
+    probe.add_argument("--weak-rows", type=int, default=3, metavar="N",
+                       help="retention-weak rows per subarray")
+    probe.add_argument("--refresh-window", type=float, default=64.0,
+                       metavar="MS")
+    probe.add_argument("--target-window", type=float, default=128.0,
+                       metavar="MS",
+                       help="target (extended) refresh window for "
+                            "CROW-ref devices")
+    probe.add_argument("--seed", type=int, default=1)
+    probe.add_argument("--channel", type=int, default=0)
+    probe.add_argument(
+        "--no-shadow", action="store_true",
+        help="drop the strict conformance shadow (CROW mapping and "
+             "weak-row observables become unavailable)",
+    )
+    probe.add_argument(
+        "--probe-banks", default=None, metavar="B0,B1,...",
+        help="banks to scan for weak rows / duplicates (default: all)",
+    )
+    probe.add_argument(
+        "--retention-interval", type=float, default=None, metavar="MS",
+        help="refresh interval for retention experiments (default: the "
+             "device's target window)",
+    )
+    probe.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the profile (and verify report) as JSON to FILE",
+    )
+    probe.set_defaults(func=_cmd_probe)
 
     perf = sub.add_parser(
         "perf",

@@ -17,6 +17,12 @@ from pathlib import Path
 
 __all__ = ["CheckViolation", "CheckReport"]
 
+#: Bank/rank state-machine rules (everything else non-CROW, non-refresh
+#: is an inter-command timing constraint).
+_STATE_CONSTRAINTS = frozenset(
+    ("double-act", "pre-closed-bank", "closed-bank-access", "ref-open-bank")
+)
+
 
 @dataclass(frozen=True)
 class CheckViolation:
@@ -41,6 +47,26 @@ class CheckViolation:
             return None
         return self.actual - self.required
 
+    @property
+    def category(self) -> str:
+        """Coarse class of the broken rule.
+
+        One of ``"timing"`` (inter-command spacing), ``"state"`` (bank
+        state-machine legality), ``"refresh"`` (whole-window cadence and
+        coverage) or ``"crow"`` (copy-row invariants). A raw probing
+        host observes this class — a real device would reject, corrupt
+        or misbehave differently per class — without being told *which*
+        named constraint tripped, which is the device-knowledge boundary
+        :mod:`repro.probe` inference respects.
+        """
+        if self.constraint.startswith("crow-"):
+            return "crow"
+        if self.constraint in ("tREFI", "refresh-coverage"):
+            return "refresh"
+        if self.constraint in _STATE_CONSTRAINTS:
+            return "state"
+        return "timing"
+
     def __str__(self) -> str:
         pair = f"{self.prior}->{self.command}" if self.prior else self.command
         text = (
@@ -60,6 +86,7 @@ class CheckViolation:
         """JSON-ready representation (includes the derived slack)."""
         data = asdict(self)
         data["slack"] = self.slack
+        data["category"] = self.category
         return data
 
 

@@ -78,14 +78,23 @@ class ResultStore:
     def result_path(self, spec) -> Path:
         return self.directory / spec.cache_filename()
 
+    @staticmethod
+    def _result_type(spec) -> type:
+        """The result type ``spec``'s task family produces."""
+        from repro.sim.metrics import SimResult
+
+        return getattr(spec, "result_type", SimResult)
+
     def get_result(self, spec) -> "SimResult | None":
         """The cached result for ``spec``, or ``None`` (miss)."""
-        return self.campaign.load_cached(self.result_path(spec))
+        return self.campaign.load_cached(
+            self.result_path(spec), self._result_type(spec)
+        )
 
     def get_result_bytes(self, spec) -> "bytes | None":
         """Wire-ready pickle bytes of the cached result, if present."""
         path = self.result_path(spec)
-        if self.campaign.load_cached(path) is None:
+        if self.campaign.load_cached(path, self._result_type(spec)) is None:
             return None
         self.served += 1
         return path.read_bytes()
@@ -99,20 +108,21 @@ class ResultStore:
         differing digests raise :class:`StoreMismatchError` and bump the
         ``conflicts`` counter — never a silent overwrite.
         """
-        if not isinstance(result, SimResult):
+        expected = self._result_type(spec)
+        if not isinstance(result, expected):
             raise ClusterError(
-                f"store payload must be a SimResult, got "
+                f"store payload must be a {expected.__name__}, got "
                 f"{type(result).__name__}"
             )
         path = self.result_path(spec)
-        cached = self.campaign.load_cached(path)
+        cached = self.campaign.load_cached(path, expected)
         if cached is not None:
             have, got = cached.telemetry_digest(), result.telemetry_digest()
             if have != got:
                 self.conflicts += 1
                 raise StoreMismatchError(spec.digest(), have, got)
             return cached
-        self.campaign.store(path, result)
+        self.campaign.store(path, result, expected)
         return result
 
     def put_result_bytes(self, spec, data: bytes) -> SimResult:
@@ -131,14 +141,15 @@ class ResultStore:
                 f"undecodable result payload for task "
                 f"{spec.digest()}: {exc}"
             )
-        if not isinstance(result, SimResult):
+        expected = self._result_type(spec)
+        if not isinstance(result, expected):
             raise ClusterError(
-                f"store payload must be a SimResult, got "
+                f"store payload must be a {expected.__name__}, got "
                 f"{type(result).__name__}"
             )
         self.fetched += 1
         path = self.result_path(spec)
-        cached = self.campaign.load_cached(path)
+        cached = self.campaign.load_cached(path, expected)
         if cached is not None:
             have, got = cached.telemetry_digest(), result.telemetry_digest()
             if have != got:
@@ -217,7 +228,7 @@ class ResultStore:
         path = self.result_path(spec)
         deadline = clock() + timeout_s
         while True:
-            result = self.campaign.load_cached(path)
+            result = self.campaign.load_cached(path, self._result_type(spec))
             if result is not None:
                 return result
             if not self.campaign.claim_path(path).exists():

@@ -22,7 +22,7 @@ from collections import deque
 
 from repro.dram.bank import BankState, PrechargeResult, SalpBankState
 from repro.dram.cellarray import CellArray
-from repro.dram.commands import ActTimings, Command, CommandKind, RowId
+from repro.dram.commands import ActTimings, Command, CommandKind, RowId, RowKind
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import REF_COMMANDS_PER_WINDOW, TimingParameters
 from repro.errors import ConfigError, ProtocolError, TimingViolationError
@@ -162,7 +162,13 @@ class DramChannel:
     # ------------------------------------------------------------------
     def _bank_slot(self, command: Command) -> BankState:
         """The BankState a command operates on (per-subarray for SALP)."""
-        bank = self.banks[command.bank]
+        try:
+            bank = self.banks[command.bank]
+        except IndexError:
+            raise ProtocolError(
+                f"bank {command.bank} out of range "
+                f"(channel has {len(self.banks)} banks)"
+            ) from None
         if isinstance(bank, SalpBankState):
             if command.kind is CommandKind.PRE:
                 if command.subarray is None:
@@ -174,6 +180,48 @@ class DramChannel:
                 return bank.slot(command.subarray)
             return bank.slot(command.rows[0].subarray)
         return bank
+
+    def validate_address(self, command: Command) -> None:
+        """Reject commands whose addresses fall outside this geometry.
+
+        The controller never constructs out-of-range commands, so the
+        issue path does not pay for these checks; raw hosts
+        (:mod:`repro.probe`) feed arbitrary addresses and call this as
+        the device's address decoder — a failed decode is a
+        :class:`ProtocolError`, distinct from timing/state rejection.
+        Negative bank indices would otherwise alias Python's
+        end-relative list indexing.
+        """
+        geometry = self.geometry
+        if not 0 <= command.bank < len(self.banks):
+            raise ProtocolError(
+                f"bank {command.bank} out of range "
+                f"(channel has {len(self.banks)} banks)"
+            )
+        for row in command.rows:
+            if not 0 <= row.subarray < geometry.subarrays_per_bank:
+                raise ProtocolError(
+                    f"subarray {row.subarray} out of range "
+                    f"(bank has {geometry.subarrays_per_bank} subarrays)"
+                )
+            limit = (
+                geometry.copy_rows_per_subarray
+                if row.kind is RowKind.COPY
+                else geometry.rows_per_subarray
+            )
+            space = "copy" if row.kind is RowKind.COPY else "regular"
+            if not 0 <= row.index < limit:
+                raise ProtocolError(
+                    f"{space} row index {row.index} out of range "
+                    f"(subarray has {limit} {space} rows)"
+                )
+        if command.subarray is not None and not (
+            0 <= command.subarray < geometry.subarrays_per_bank
+        ):
+            raise ProtocolError(
+                f"subarray {command.subarray} out of range "
+                f"(bank has {geometry.subarrays_per_bank} subarrays)"
+            )
 
     def open_rows(self, bank: int) -> tuple[RowId, ...] | None:
         """Open row(s) of a conventional bank (None when closed)."""

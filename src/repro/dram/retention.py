@@ -16,6 +16,8 @@ module implements exactly that generative model:
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.dram.geometry import DramGeometry
@@ -158,6 +160,30 @@ class RetentionModel:
     ) -> bool:
         """Whether the regular row is weak at the target interval."""
         return index in self.weak_regular_rows(channel, bank, subarray)
+
+    def weak_set_digest(self, channels: int | None = None) -> str:
+        """Content digest of every weak regular/copy row set (16 hex).
+
+        Canonical text form — sorted indices per subarray, subarrays in
+        (channel, bank, subarray) order — hashed with sha256, so two
+        processes (or two machines) agree byte-for-byte exactly when
+        their models sample identical weak sets. The probe weak-row
+        routine and the cross-process determinism tests both rely on
+        this being stable for a given (geometry, target, mode, seed).
+        """
+        channels = self.geometry.channels if channels is None else channels
+        digest = hashlib.sha256()
+        for channel in range(channels):
+            for bank in range(self.geometry.banks_per_channel):
+                for subarray in range(self.geometry.subarrays_per_bank):
+                    regular, copy = self._subarray_sets(
+                        channel, bank, subarray
+                    )
+                    digest.update(
+                        f"{channel}/{bank}/{subarray}:"
+                        f"{sorted(regular)}|{sorted(copy)}\n".encode()
+                    )
+        return digest.hexdigest()[:16]
 
     def row_retention_ms(
         self,

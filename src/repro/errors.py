@@ -7,11 +7,13 @@ callers can catch library failures without masking programming errors.
 __all__ = [
     "ReproError",
     "ConfigError",
+    "TraceFormatError",
     "TimingViolationError",
     "ProtocolError",
     "DataIntegrityError",
     "CapacityError",
     "ConformanceError",
+    "ProbeError",
     "SnapshotError",
     "ClusterError",
     "StoreMismatchError",
@@ -24,6 +26,22 @@ class ReproError(Exception):
 
 class ConfigError(ReproError):
     """An invalid or inconsistent configuration value was supplied."""
+
+
+class TraceFormatError(ConfigError):
+    """A trace file line could not be parsed.
+
+    Raised by :mod:`repro.trace.fileio` with the offending location
+    attached as structured attributes: ``path`` (str) and ``line``
+    (1-based line number), so tools can point an editor at the defect
+    instead of re-parsing the message.
+    """
+
+    def __init__(self, path, line: int, reason: str) -> None:
+        super().__init__(f"{path}:{line}: {reason}")
+        self.path = str(path)
+        self.line = line
+        self.reason = reason
 
 
 class TimingViolationError(ReproError):
@@ -68,6 +86,16 @@ class ConformanceError(ReproError):
     def __init__(self, violation) -> None:
         super().__init__(str(violation))
         self.violation = violation
+
+
+class ProbeError(ReproError):
+    """A probe routine could not complete its measurement.
+
+    Raised by :mod:`repro.probe` when a committed probe step is rejected
+    by the device (a routine bug — exploratory attempts are sandboxed
+    and report rejection as data instead), or when a search cannot
+    bracket its target within the command budget.
+    """
 
 
 class SnapshotError(ReproError):

@@ -76,10 +76,14 @@ class ParallelCampaign:
         return self.campaign.misses
 
     def _path(self, spec: TaskSpec) -> Path:
-        return self.campaign.path_for(
-            spec.kind, spec.names, spec.config, spec.instructions,
-            spec.warmup_instructions, spec.seed,
-        )
+        # Spec classes own their cache-file naming (probe campaigns fold
+        # extra identity fields into the digest); for plain TaskSpecs
+        # this is byte-identical to Campaign.path_for.
+        return self.campaign.directory / spec.cache_filename()
+
+    @staticmethod
+    def _result_type(spec: TaskSpec) -> type:
+        return getattr(spec, "result_type", SimResult)
 
     def _emit(self, event: str, **fields) -> None:
         for observer in self.observers:
@@ -118,7 +122,9 @@ class ParallelCampaign:
         outcomes: "list[TaskOutcome | None]" = [None] * len(specs)
         misses: "list[tuple[int, TaskSpec]]" = []
         for index, spec in enumerate(specs):
-            cached = self.campaign.load_cached(self._path(spec))
+            cached = self.campaign.load_cached(
+                self._path(spec), self._result_type(spec)
+            )
             if cached is not None:
                 self.campaign.hits += 1
                 outcomes[index] = TaskOutcome(
@@ -137,11 +143,15 @@ class ParallelCampaign:
             for (index, spec), outcome in zip(misses, ran):
                 outcomes[index] = outcome
                 if outcome.ok:
-                    if not isinstance(outcome.result, SimResult):
+                    expected = self._result_type(spec)
+                    if not isinstance(outcome.result, expected):
                         raise ConfigError(
-                            "campaign tasks must produce SimResult values"
+                            f"campaign tasks must produce "
+                            f"{expected.__name__} values"
                         )
-                    self.campaign.store(self._path(spec), outcome.result)
+                    self.campaign.store(
+                        self._path(spec), outcome.result, expected
+                    )
                     self.campaign.misses += 1
                     self._emit_telemetry(spec, outcome.result, cached=False)
 
@@ -182,7 +192,9 @@ class ParallelCampaign:
         prepared: "list[TaskSpec]" = list(specs)
         miss_indices = [
             index for index, spec in enumerate(specs)
-            if self.campaign.load_cached(self._path(spec)) is None
+            if self.campaign.load_cached(
+                self._path(spec), self._result_type(spec)
+            ) is None
         ]  # cache hits are served by run(); no warm-up needed
 
         misses = [specs[i] for i in miss_indices]

@@ -15,6 +15,7 @@ import base64
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import ClassVar
 
 from repro.errors import ConfigError, ReproError
 from repro.sim.campaign import cache_filename, task_digest
@@ -32,6 +33,13 @@ KINDS = ("wl", "mix")
 class TaskSpec:
     """One deterministic simulation, described entirely by value."""
 
+    #: Kinds this spec class accepts; subclasses (e.g. probe campaigns)
+    #: narrow it to their own kind namespace.
+    VALID_KINDS: ClassVar[tuple[str, ...]] = KINDS
+    #: Result type tasks of this class produce; the campaign cache and
+    #: the cluster store validate entries against it.
+    result_type: ClassVar[type] = SimResult
+
     kind: str                      # 'wl' (single-core) or 'mix'
     names: tuple[str, ...]         # workload name(s); one per core for 'mix'
     config: SystemConfig = field(default_factory=SystemConfig)
@@ -47,9 +55,9 @@ class TaskSpec:
     checkpoint_every: int = 50_000
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
+        if self.kind not in self.VALID_KINDS:
             raise ConfigError(
-                f"unknown task kind {self.kind!r}; one of {KINDS}"
+                f"unknown task kind {self.kind!r}; one of {self.VALID_KINDS}"
             )
         if not self.names:
             raise ConfigError("a task needs at least one workload name")

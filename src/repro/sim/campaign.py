@@ -149,12 +149,17 @@ class Campaign:
             seed,
         )
 
-    def load_cached(self, path: Path) -> SimResult | None:
+    def load_cached(
+        self, path: Path, expected: type = SimResult
+    ) -> SimResult | None:
         """Return the cached result at ``path``, or ``None`` on a miss.
 
         Unreadable entries (torn writes from a killed process, stale
-        pickles referencing renamed classes) count as misses: the bad file
-        is removed so the slot can be rewritten cleanly.
+        pickles referencing renamed classes) and entries of the wrong
+        type count as misses: the bad file is removed so the slot can be
+        rewritten cleanly. ``expected`` is the result type the caller's
+        task family produces (:class:`SimResult` for simulations; probe
+        campaigns cache their own result type).
         """
         if not path.is_file():
             return None
@@ -164,12 +169,14 @@ class Campaign:
         except Exception:
             path.unlink(missing_ok=True)
             return None
-        if not isinstance(result, SimResult):
+        if not isinstance(result, expected):
             path.unlink(missing_ok=True)
             return None
         return result
 
-    def store(self, path: Path, result: SimResult) -> None:
+    def store(
+        self, path: Path, result: SimResult, expected: type = SimResult
+    ) -> None:
         """Atomically persist ``result`` at ``path``.
 
         The pickle is written to a process-unique sibling and moved into
@@ -177,8 +184,10 @@ class Campaign:
         a torn file behind and concurrent writers of the same (identical,
         deterministic) result cannot interleave.
         """
-        if not isinstance(result, SimResult):
-            raise ConfigError("runner must produce a SimResult")
+        if not isinstance(result, expected):
+            raise ConfigError(
+                f"runner must produce a {expected.__name__}"
+            )
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             with tmp.open("wb") as handle:

@@ -1,0 +1,220 @@
+"""Channel-component construction shared by System and ProbeSession.
+
+:class:`~repro.sim.system.System` and the raw probing host in
+:mod:`repro.probe` must build *identical* device-side stacks from one
+:class:`~repro.sim.config.SystemConfig` — same resolved geometry, same
+base and CROW timing parameters, same retention model, same mechanism
+(whose boot-time work, e.g. CROW-ref weak-row remapping, defines the
+device's power-on state), and same shadow-checker seeding. These helpers
+are that single construction path, factored out of ``System.__init__``
+so the probe session cannot drift from the simulator proper.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ChargeCache, IdealCrowCache, SalpMasa, TlDram
+from repro.controller.mechanism import Mechanism, NoMechanism
+from repro.core import CrowCache, CrowCacheRef, CrowRef, RowHammerMitigation
+from repro.circuit import derive_crow_timing_factors
+from repro.dram import CrowTimings, RetentionModel, TimingParameters
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+
+__all__ = [
+    "base_timing",
+    "build_crow_timings",
+    "build_retention",
+    "retention_model",
+    "build_mechanism",
+    "final_timing",
+    "weak_row_set",
+    "seed_checker_remaps",
+]
+
+
+def base_timing(config: SystemConfig) -> TimingParameters:
+    """The LPDDR4 timing set the config's density/refresh window implies."""
+    return TimingParameters.lpddr4(
+        density_gbit=config.density_gbit,
+        refresh_window_ms=config.refresh_window_ms,
+    )
+
+
+def build_crow_timings(
+    config: SystemConfig,
+    geometry: DramGeometry,
+    timing: TimingParameters,
+) -> CrowTimings | None:
+    """CROW activation timings, or ``None`` without copy rows."""
+    if not geometry.copy_rows_per_subarray:
+        return None
+    factors = (
+        derive_crow_timing_factors()
+        if config.use_derived_circuit_factors
+        else None
+    )
+    return CrowTimings.from_factors(timing, factors)
+
+
+def build_retention(
+    config: SystemConfig, geometry: DramGeometry
+) -> RetentionModel | None:
+    """The retention model the *mechanism* consumes (CROW-ref family)."""
+    if config.mechanism not in ("crow-ref", "crow-combined", "crow-full"):
+        return None
+    return retention_model(config, geometry)
+
+
+def retention_model(
+    config: SystemConfig, geometry: DramGeometry
+) -> RetentionModel:
+    """The config's weak-row oracle, independent of mechanism choice.
+
+    Cell physics does not depend on what the controller does about it:
+    the probe session builds this unconditionally to model retention
+    failures on any device, while :func:`build_retention` gates it to
+    the mechanisms that actually remap weak rows.
+    """
+    return RetentionModel(
+        geometry,
+        target_interval_ms=config.target_refresh_window_ms,
+        weak_rows_per_subarray=config.weak_rows_per_subarray,
+        seed=config.seed,
+    )
+
+
+def build_mechanism(
+    config: SystemConfig,
+    geometry: DramGeometry,
+    timing: TimingParameters,
+    crow_timings: CrowTimings | None,
+    retention: RetentionModel | None,
+    channel: int,
+) -> Mechanism:
+    """The per-channel mechanism ``config`` describes (boot work included)."""
+    name = config.mechanism
+    if name in ("baseline", "no-refresh"):
+        return NoMechanism(geometry, timing)
+    if name == "crow-cache":
+        from repro.core.table import CrowTable
+
+        table = CrowTable(geometry, config.subarray_group_size)
+        return CrowCache(
+            geometry,
+            timing,
+            crow=crow_timings,
+            table=table,
+            allow_partial_restore=config.allow_partial_restore,
+            reduced_twr=config.reduced_twr,
+            act_c_early_termination=config.act_c_early_termination,
+            evict_partial=config.evict_partial,
+        )
+    if name == "crow-ref":
+        assert retention is not None
+        return CrowRef(
+            geometry,
+            timing,
+            retention,
+            crow=crow_timings,
+            channel=channel,
+            base_window_ms=config.refresh_window_ms,
+        )
+    if name == "crow-combined":
+        assert retention is not None
+        return CrowCacheRef(
+            geometry,
+            timing,
+            retention,
+            crow=crow_timings,
+            channel=channel,
+            base_window_ms=config.refresh_window_ms,
+            allow_partial_restore=config.allow_partial_restore,
+            reduced_twr=config.reduced_twr,
+            act_c_early_termination=config.act_c_early_termination,
+            evict_partial=config.evict_partial,
+        )
+    if name == "crow-full":
+        from repro.core import CrowFullSubstrate
+
+        assert retention is not None
+        return CrowFullSubstrate(
+            geometry,
+            timing,
+            retention,
+            crow=crow_timings,
+            channel=channel,
+            base_window_ms=config.refresh_window_ms,
+            hammer_threshold=config.hammer_threshold,
+            allow_partial_restore=config.allow_partial_restore,
+            reduced_twr=config.reduced_twr,
+            act_c_early_termination=config.act_c_early_termination,
+            evict_partial=config.evict_partial,
+        )
+    if name == "crow-hammer":
+        return RowHammerMitigation(
+            geometry,
+            timing,
+            crow=crow_timings,
+            hammer_threshold=config.hammer_threshold,
+        )
+    if name in ("ideal-crow-cache", "ideal"):
+        return IdealCrowCache(
+            geometry,
+            timing,
+            crow=crow_timings,
+            allow_partial_restore=config.allow_partial_restore,
+        )
+    if name == "tl-dram":
+        return TlDram(geometry, timing)
+    if name == "salp":
+        return SalpMasa(geometry, timing, open_page=config.salp_open_page)
+    if name == "chargecache":
+        return ChargeCache(geometry, timing)
+    raise ConfigError(f"unknown mechanism {name!r}")
+
+
+def final_timing(
+    base: TimingParameters, mechanisms: "list[Mechanism]"
+) -> TimingParameters:
+    """Apply the refresh window the mechanisms achieved (CROW-ref)."""
+    windows = [
+        mech.achieved_refresh_window_ms
+        for mech in mechanisms
+        if hasattr(mech, "achieved_refresh_window_ms")
+    ]
+    if not windows:
+        return base
+    return base.with_refresh_window(min(windows))
+
+
+def weak_row_set(
+    retention: RetentionModel | None,
+    geometry: DramGeometry,
+    channel: int,
+) -> set[tuple[int, int]]:
+    """Retention-weak regular rows of one channel as ``(bank, row)``."""
+    weak: set[tuple[int, int]] = set()
+    if retention is None:
+        return weak
+    rows_per_subarray = geometry.rows_per_subarray
+    for bank in range(geometry.banks_per_channel):
+        for subarray in range(geometry.subarrays_per_bank):
+            for index in retention.weak_regular_rows(channel, bank, subarray):
+                weak.add((bank, subarray * rows_per_subarray + index))
+    return weak
+
+
+def seed_checker_remaps(checker, mechanism: Mechanism) -> None:
+    """Register boot-time weak-row remaps (CROW-ref / RowHammer) so the
+    checker accepts plain activations of the serving copy rows."""
+    components = (
+        mechanism,
+        getattr(mechanism, "ref", None),
+        getattr(mechanism, "hammer", None),
+    )
+    for component in components:
+        remap = getattr(component, "remap", None)
+        if isinstance(remap, dict):
+            for (bank, bank_row), copy in remap.items():
+                checker.seed_remap(bank, bank_row, copy)

@@ -13,23 +13,13 @@ import heapq
 from pathlib import Path
 from typing import Callable, Iterator
 
-from repro.baselines import ChargeCache, IdealCrowCache, SalpMasa, TlDram
 from repro.controller import ChannelController, FrFcfsCap, MemRequest, RequestType
-from repro.controller.mechanism import Mechanism, NoMechanism
-from repro.core import CrowCache, CrowCacheRef, CrowRef, RowHammerMitigation
-from repro.circuit import derive_crow_timing_factors
 from repro.cpu import Core, Llc, RptPrefetcher, VirtualMemory
 from repro.cpu.core import TraceRecord, _MemOp
-from repro.dram import (
-    AddressMapper,
-    CellArray,
-    CrowTimings,
-    DramChannel,
-    RetentionModel,
-    TimingParameters,
-)
+from repro.dram import AddressMapper, CellArray, DramChannel
 from repro.energy import ChannelActivity, EnergyModel, IddCurrents
 from repro.errors import ConfigError, ReproError, SnapshotError
+from repro.sim import factory
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.trace.stream import TraceStream
@@ -329,26 +319,19 @@ class System:
         self.config = config
         self.geometry = config.resolved_geometry()
         self.mapper = AddressMapper(self.geometry)
-        base_timing = TimingParameters.lpddr4(
-            density_gbit=config.density_gbit,
-            refresh_window_ms=config.refresh_window_ms,
+        base_timing = factory.base_timing(config)
+        self.crow_timings = factory.build_crow_timings(
+            config, self.geometry, base_timing
         )
-        factors = (
-            derive_crow_timing_factors()
-            if config.use_derived_circuit_factors
-            else None
-        )
-        self.crow_timings = (
-            CrowTimings.from_factors(base_timing, factors)
-            if self.geometry.copy_rows_per_subarray
-            else None
-        )
-        self.retention = self._build_retention()
+        self.retention = factory.build_retention(config, self.geometry)
         self.mechanisms = [
-            self._build_mechanism(ch, base_timing)
+            factory.build_mechanism(
+                config, self.geometry, base_timing, self.crow_timings,
+                self.retention, ch,
+            )
             for ch in range(self.geometry.channels)
         ]
-        self.timing = self._final_timing(base_timing)
+        self.timing = factory.final_timing(base_timing, self.mechanisms)
         refresh_enabled = config.refresh_enabled and config.mechanism not in (
             "no-refresh",
             "ideal",
@@ -397,11 +380,15 @@ class System:
                     salp=salp_subarrays is not None,
                     expect_refresh=refresh_enabled,
                     extended_refresh=extended,
-                    weak_rows=self._weak_row_set(ch) if extended else (),
+                    weak_rows=(
+                        factory.weak_row_set(self.retention, self.geometry, ch)
+                        if extended
+                        else ()
+                    ),
                     assume_ideal_duplicates=ideal,
                     mode=config.check_mode,
                 )
-                self._seed_checker_remaps(checker, self.mechanisms[ch])
+                factory.seed_checker_remaps(checker, self.mechanisms[ch])
                 channel.checker = checker
                 self.checkers.append(checker)
         self.events = _EventQueue()
@@ -457,134 +444,6 @@ class System:
         self._tickables: tuple = (*self.cores, *self.controllers)
         self.now = 0
 
-    # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-    def _build_retention(self) -> RetentionModel | None:
-        if self.config.mechanism not in (
-            "crow-ref", "crow-combined", "crow-full"
-        ):
-            return None
-        return RetentionModel(
-            self.geometry,
-            target_interval_ms=self.config.target_refresh_window_ms,
-            weak_rows_per_subarray=self.config.weak_rows_per_subarray,
-            seed=self.config.seed,
-        )
-
-    def _build_mechanism(
-        self, channel: int, timing: TimingParameters
-    ) -> Mechanism:
-        config = self.config
-        name = config.mechanism
-        geometry = self.geometry
-        if name in ("baseline", "no-refresh"):
-            return NoMechanism(geometry, timing)
-        if name == "crow-cache":
-            from repro.core.table import CrowTable
-
-            table = CrowTable(geometry, config.subarray_group_size)
-            return CrowCache(
-                geometry,
-                timing,
-                crow=self.crow_timings,
-                table=table,
-                allow_partial_restore=config.allow_partial_restore,
-                reduced_twr=config.reduced_twr,
-                act_c_early_termination=config.act_c_early_termination,
-                evict_partial=config.evict_partial,
-            )
-        if name == "crow-ref":
-            assert self.retention is not None
-            return CrowRef(
-                geometry,
-                timing,
-                self.retention,
-                crow=self.crow_timings,
-                channel=channel,
-                base_window_ms=config.refresh_window_ms,
-            )
-        if name == "crow-combined":
-            assert self.retention is not None
-            return CrowCacheRef(
-                geometry,
-                timing,
-                self.retention,
-                crow=self.crow_timings,
-                channel=channel,
-                base_window_ms=config.refresh_window_ms,
-                allow_partial_restore=config.allow_partial_restore,
-                reduced_twr=config.reduced_twr,
-                act_c_early_termination=config.act_c_early_termination,
-                evict_partial=config.evict_partial,
-            )
-        if name == "crow-full":
-            from repro.core import CrowFullSubstrate
-
-            assert self.retention is not None
-            return CrowFullSubstrate(
-                geometry,
-                timing,
-                self.retention,
-                crow=self.crow_timings,
-                channel=channel,
-                base_window_ms=config.refresh_window_ms,
-                hammer_threshold=config.hammer_threshold,
-                allow_partial_restore=config.allow_partial_restore,
-                reduced_twr=config.reduced_twr,
-                act_c_early_termination=config.act_c_early_termination,
-                evict_partial=config.evict_partial,
-            )
-        if name == "crow-hammer":
-            return RowHammerMitigation(
-                geometry,
-                timing,
-                crow=self.crow_timings,
-                hammer_threshold=config.hammer_threshold,
-            )
-        if name in ("ideal-crow-cache", "ideal"):
-            return IdealCrowCache(
-                geometry,
-                timing,
-                crow=self.crow_timings,
-                allow_partial_restore=config.allow_partial_restore,
-            )
-        if name == "tl-dram":
-            return TlDram(geometry, timing)
-        if name == "salp":
-            return SalpMasa(geometry, timing, open_page=config.salp_open_page)
-        if name == "chargecache":
-            return ChargeCache(geometry, timing)
-        raise ConfigError(f"unknown mechanism {name!r}")
-
-    def _weak_row_set(self, channel: int) -> set[tuple[int, int]]:
-        """Retention-weak regular rows of one channel as (bank, row)."""
-        weak: set[tuple[int, int]] = set()
-        if self.retention is None:
-            return weak
-        rows_per_subarray = self.geometry.rows_per_subarray
-        for bank in range(self.geometry.banks_per_channel):
-            for subarray in range(self.geometry.subarrays_per_bank):
-                for index in self.retention.weak_regular_rows(
-                    channel, bank, subarray
-                ):
-                    weak.add((bank, subarray * rows_per_subarray + index))
-        return weak
-
-    def _seed_checker_remaps(self, checker, mechanism: Mechanism) -> None:
-        """Register boot-time weak-row remaps (CROW-ref / RowHammer) so
-        the checker accepts plain activations of the serving copy rows."""
-        components = (
-            mechanism,
-            getattr(mechanism, "ref", None),
-            getattr(mechanism, "hammer", None),
-        )
-        for component in components:
-            remap = getattr(component, "remap", None)
-            if isinstance(remap, dict):
-                for (bank, bank_row), copy in remap.items():
-                    checker.seed_remap(bank, bank_row, copy)
-
     def check_report(self, finalize: bool = True):
         """Merged conformance report across channels (requires check=True).
 
@@ -601,18 +460,6 @@ class System:
                 checker.finalize(self.now)
             merged.merge(checker.report)
         return merged
-
-    def _final_timing(self, base: TimingParameters) -> TimingParameters:
-        """Apply the refresh window the mechanisms achieved (CROW-ref)."""
-        windows = [
-            mech.achieved_refresh_window_ms
-            for mech in self.mechanisms
-            if hasattr(mech, "achieved_refresh_window_ms")
-        ]
-        if not windows:
-            return base
-        achieved = min(windows)
-        return base.with_refresh_window(achieved)
 
     def controller_for(self, address: int) -> ChannelController:
         """The channel controller owning ``address``."""

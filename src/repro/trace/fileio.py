@@ -14,10 +14,24 @@ This module reads and writes that format, so users can
   original C++ infrastructure.
 
 The in-memory record type (:class:`~repro.cpu.core.TraceRecord`) carries a
-write flag and a PC that the Ramulator format lacks; on export, writeback
-addresses are emitted for write records, and on import, a line's optional
-writeback address is materialized as a separate write record (the closest
-faithful mapping).
+write flag and a PC that the Ramulator format lacks. The mapping between
+records and lines is exactly inverse on ``(bubbles, vaddr, is_write)``
+triples (only the PC is lost — reloaded records carry the line number as
+a synthetic PC):
+
+* a read record becomes a two-column line ``<bubbles> <addr>``;
+* a zero-bubble write *immediately following* a read (the common
+  load-modify-store shape) with a **different** address rides as that
+  read line's third (writeback) column;
+* every other write becomes a standalone line whose writeback column
+  *repeats* the address: ``<bubbles> <addr> <addr>``.
+
+On import the cases are distinguished unambiguously: two columns is a
+read, a third column equal to the address is a standalone write, and a
+third column differing from the address is a read followed by a
+zero-bubble write. Malformed lines raise
+:class:`~repro.errors.TraceFormatError` carrying the file path and the
+1-based line number as structured attributes.
 """
 
 from __future__ import annotations
@@ -27,7 +41,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.cpu.core import TraceRecord
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceFormatError
 
 __all__ = ["write_ramulator_trace", "read_ramulator_trace", "take"]
 
@@ -39,6 +53,10 @@ def take(trace: Iterator[TraceRecord], count: int) -> list[TraceRecord]:
     return list(itertools.islice(trace, count))
 
 
+def _read_line(record: TraceRecord) -> str:
+    return f"{record.bubbles} 0x{record.vaddr:x}\n"
+
+
 def write_ramulator_trace(
     path: "str | Path",
     trace: Iterable[TraceRecord],
@@ -46,9 +64,9 @@ def write_ramulator_trace(
 ) -> int:
     """Write records to ``path`` in Ramulator CPU-trace format.
 
-    Write records become the optional third (writeback) column attached to
-    the preceding read line, or standalone ``0 <addr> <addr>`` lines when
-    no read precedes them. Returns the number of lines written.
+    See the module docstring for the line mapping; it is chosen so that
+    :func:`read_ramulator_trace` recovers the exact ``(bubbles, vaddr,
+    is_write)`` sequence written. Returns the number of lines written.
     """
     path = Path(path)
     lines = 0
@@ -59,13 +77,26 @@ def write_ramulator_trace(
             iterator = itertools.islice(iterator, max_records)
         for record in iterator:
             if record.is_write:
-                if pending is not None:
+                # A write can ride as the pending read's writeback column
+                # only when the merge is losslessly reversible: no bubble
+                # count to preserve, and an address distinct from the
+                # read's (an equal address would read back as the
+                # standalone-write form).
+                if (
+                    pending is not None
+                    and record.bubbles == 0
+                    and record.vaddr != pending.vaddr
+                ):
                     handle.write(
                         f"{pending.bubbles} 0x{pending.vaddr:x} "
                         f"0x{record.vaddr:x}\n"
                     )
                     pending = None
                 else:
+                    if pending is not None:
+                        handle.write(_read_line(pending))
+                        lines += 1
+                        pending = None
                     handle.write(
                         f"{record.bubbles} 0x{record.vaddr:x} "
                         f"0x{record.vaddr:x}\n"
@@ -73,11 +104,11 @@ def write_ramulator_trace(
                 lines += 1
                 continue
             if pending is not None:
-                handle.write(f"{pending.bubbles} 0x{pending.vaddr:x}\n")
+                handle.write(_read_line(pending))
                 lines += 1
             pending = record
         if pending is not None:
-            handle.write(f"{pending.bubbles} 0x{pending.vaddr:x}\n")
+            handle.write(_read_line(pending))
             lines += 1
     return lines
 
@@ -87,10 +118,14 @@ def read_ramulator_trace(
 ) -> Iterator[TraceRecord]:
     """Yield records from a Ramulator CPU-trace file.
 
-    Each line produces a read record; a third column additionally produces
-    a write record for the writeback address. With ``loop`` the trace
+    Inverse of :func:`write_ramulator_trace` (module docstring has the
+    exact mapping): two columns yield a read; a writeback column equal to
+    the address yields a standalone write; a differing writeback column
+    yields the read plus a zero-bubble write. With ``loop`` the trace
     repeats forever (the simulator's runner expects effectively-infinite
-    traces for fixed-instruction-count runs).
+    traces for fixed-instruction-count runs). Malformed lines raise
+    :class:`~repro.errors.TraceFormatError` with ``path`` and ``line``
+    attributes.
     """
     path = Path(path)
     if not path.is_file():
@@ -104,22 +139,30 @@ def read_ramulator_trace(
                     continue
                 parts = text.split()
                 if len(parts) not in (2, 3):
-                    raise ConfigError(
-                        f"{path}:{line_number}: expected 2 or 3 columns, "
-                        f"got {len(parts)}"
+                    raise TraceFormatError(
+                        path, line_number,
+                        f"expected 2 or 3 columns, got {len(parts)}",
                     )
                 try:
                     bubbles = int(parts[0])
                     address = int(parts[1], 0)
                     writeback = int(parts[2], 0) if len(parts) == 3 else None
                 except ValueError as error:
-                    raise ConfigError(
-                        f"{path}:{line_number}: {error}"
+                    raise TraceFormatError(
+                        path, line_number, str(error)
                     ) from None
                 if bubbles < 0 or address < 0:
-                    raise ConfigError(
-                        f"{path}:{line_number}: negative field"
+                    raise TraceFormatError(
+                        path, line_number, "negative field"
                     )
+                if writeback is not None and writeback < 0:
+                    raise TraceFormatError(
+                        path, line_number, "negative writeback address"
+                    )
+                if writeback == address:
+                    # Standalone write (the writer repeats the address).
+                    yield TraceRecord(bubbles, address, True, pc=line_number)
+                    continue
                 yield TraceRecord(bubbles, address, False, pc=line_number)
                 if writeback is not None:
                     yield TraceRecord(0, writeback, True, pc=line_number)

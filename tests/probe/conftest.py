@@ -1,0 +1,44 @@
+"""Shared fixtures for probe tests: small, fast device geometries."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.sim.config import SystemConfig
+
+
+def small_config(mechanism: str = "baseline", **overrides) -> SystemConfig:
+    """A 4-bank, 1024-row device: full discovery in well under a second
+    per mechanism, with every structural boundary still probeable."""
+    geometry = DramGeometry(
+        banks_per_rank=4, rows_per_bank=1024, rows_per_subarray=256,
+    )
+    kwargs = dict(
+        mechanism=mechanism,
+        geometry=geometry,
+        copy_rows=8,
+        weak_rows_per_subarray=3,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return SystemConfig(**kwargs)
+
+
+@pytest.fixture
+def baseline_config() -> SystemConfig:
+    return small_config("baseline")
+
+
+@pytest.fixture
+def crow_config() -> SystemConfig:
+    return small_config("crow-cache")
+
+
+def shaved(config: SystemConfig, **timing_overrides):
+    """The device's true timing with some parameters shaved — a lying
+    device for mismatch-detection tests."""
+    from repro.sim import factory
+
+    base = factory.base_timing(config)
+    return replace(base, **timing_overrides)

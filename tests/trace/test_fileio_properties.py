@@ -1,0 +1,63 @@
+"""Property-based round-trip law for Ramulator trace file I/O.
+
+The file format merges an eligible write into the preceding read's
+writeback column and splits it back out on read; the law these
+properties pin down is that ``read(write(records))`` recovers the exact
+``(bubbles, vaddr, is_write)`` sequence for *every* record mix — reads,
+standalone writes, merged writebacks, zero-bubble runs — not just the
+hand-picked cases in ``test_fileio.py``. Runs under the fixed-seed
+``ci`` hypothesis profile in CI (see ``tests/conftest.py``).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.core import TraceRecord
+from repro.trace.fileio import (
+    read_ramulator_trace,
+    take,
+    write_ramulator_trace,
+)
+
+# Cache-line-ish addresses keep the generated traces realistic; the
+# format itself does not care about alignment.
+_records = st.builds(
+    TraceRecord,
+    st.integers(min_value=0, max_value=10_000),          # bubbles
+    st.integers(min_value=0, max_value=(1 << 48) - 64),  # vaddr
+    st.booleans(),                                       # is_write
+    st.just(0),                                          # pc (not in format)
+)
+
+
+def _essence(records):
+    return [(r.bubbles, r.vaddr, r.is_write) for r in records]
+
+
+@given(st.lists(_records, max_size=64))
+def test_round_trip_recovers_exact_sequence(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("trace") / "trace.txt"
+    write_ramulator_trace(path, records)
+    assert _essence(read_ramulator_trace(path)) == _essence(records)
+
+
+@given(st.lists(_records, min_size=1, max_size=16),
+       st.integers(min_value=2, max_value=5))
+def test_looped_read_repeats_the_sequence(tmp_path_factory, records, repeats):
+    path = tmp_path_factory.mktemp("trace") / "trace.txt"
+    write_ramulator_trace(path, records)
+    period = _essence(read_ramulator_trace(path))
+    looped = take(read_ramulator_trace(path, loop=True),
+                  len(period) * repeats)
+    assert _essence(looped) == period * repeats
+
+
+@given(st.lists(_records, max_size=64), st.integers(0, 32))
+def test_max_records_is_a_prefix(tmp_path_factory, records, limit):
+    # Truncated writes still round-trip: the first ``limit`` *lines*
+    # decode to a prefix of the full record sequence (a merged
+    # read+writeback line carries two records, so compare prefixes).
+    path = tmp_path_factory.mktemp("trace") / "trace.txt"
+    write_ramulator_trace(path, records, max_records=limit)
+    truncated = _essence(read_ramulator_trace(path))
+    assert truncated == _essence(records)[: len(truncated)]
