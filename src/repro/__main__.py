@@ -23,12 +23,15 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 
 from repro import SystemConfig, WORKLOADS, run_mix, run_workload
 from repro.analysis import TextTable
-from repro.sim.config import MECHANISMS
+from repro.errors import ConfigError, ReproError
+from repro.mech import get_plugin, mechanism_names
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -600,6 +603,88 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mechanisms(args: argparse.Namespace) -> int:
+    """List the mechanism registry, or verify every plugin (CI matrix).
+
+    ``--verify`` runs each registered mechanism through a short
+    strict-conformance simulation with telemetry, compares the digest
+    against the committed oracle (``tests/data/expected_digests.json``)
+    where an entry exists, and exits non-zero on any conformance
+    violation or digest mismatch. ``--report-dir`` writes one JSON
+    report per mechanism (the CI artifacts).
+    """
+    if not args.verify:
+        table = TextTable(
+            "mechanism registry", ["name", "plugin", "description"]
+        )
+        for name in mechanism_names():
+            plugin = get_plugin(name)
+            doc = (plugin.__class__.__doc__ or "").strip().splitlines()
+            table.add_row(
+                name, type(plugin).__name__, doc[0] if doc else ""
+            )
+        print(table.render())
+        return 0
+
+    from repro.check.scenarios import run_checked_case
+
+    oracle: dict = {}
+    if args.digests is not None and args.digests.exists():
+        oracle = json.loads(args.digests.read_text())
+    if args.report_dir is not None:
+        args.report_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = []
+    for name in mechanism_names():
+        entry = oracle.get(f"{args.workload}-{name}")
+        report: dict = {
+            "mechanism": name,
+            "workload": args.workload,
+            "instructions": args.instructions,
+            "warmup_instructions": args.warmup,
+            "seed": args.seed,
+        }
+        try:
+            result, check = run_checked_case(
+                (args.workload,),
+                name,
+                args.instructions,
+                args.warmup,
+                seed=args.seed,
+                mode="strict",
+                telemetry=True,
+            )
+        except ReproError as exc:
+            report["status"] = "conformance-violation"
+            report["error"] = str(exc)
+            failed.append(name)
+        else:
+            digest = result.telemetry_digest()
+            report["cycles"] = result.cycles
+            report["digest"] = digest
+            report["commands_checked"] = check.commands
+            if entry is None:
+                report["status"] = "ok-no-oracle-digest"
+            elif (
+                digest != entry["digest"]
+                or result.cycles != entry["cycles"]
+            ):
+                report["status"] = "digest-mismatch"
+                report["expected"] = entry
+                failed.append(name)
+            else:
+                report["status"] = "ok"
+        print(f"{name:18s} {report['status']}")
+        if args.report_dir is not None:
+            path = args.report_dir / f"{name}.json"
+            path.write_text(json.dumps(report, indent=2) + "\n")
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all {len(mechanism_names())} mechanisms conformant")
+    return 0
+
+
 def _cmd_timings(args: argparse.Namespace) -> int:
     from repro.dram import CrowTimings, TimingParameters
 
@@ -862,8 +947,9 @@ def _add_matrix_args(parser, workloads_required: bool = True) -> None:
         parser.add_argument("workload", nargs="*", metavar="workload")
     parser.add_argument(
         "--mechanisms", nargs="+", default=["baseline", "crow-cache"],
-        choices=MECHANISMS, metavar="MECH",
-        help="mechanisms to sweep (default: baseline crow-cache)",
+        metavar="MECH",
+        help="mechanisms to sweep (default: baseline crow-cache; "
+             "`repro mechanisms` lists the registry)",
     )
     parser.add_argument(
         "--mix", action="store_true",
@@ -892,7 +978,8 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate a workload or mix")
     run.add_argument("workload", nargs="+", choices=sorted(WORKLOADS),
                      metavar="workload")
-    run.add_argument("--mechanism", default="crow-cache", choices=MECHANISMS)
+    run.add_argument("--mechanism", default="crow-cache", metavar="MECH",
+                     help="mechanism name (`repro mechanisms` lists them)")
     run.add_argument("--instructions", type=int, default=40_000)
     run.add_argument("--warmup", type=int, default=15_000)
     run.add_argument("--density", type=int, default=8,
@@ -910,8 +997,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("workload", nargs="+", choices=sorted(WORKLOADS),
                        metavar="workload")
-    stats.add_argument("--mechanism", default="crow-cache",
-                       choices=MECHANISMS)
+    stats.add_argument("--mechanism", default="crow-cache", metavar="MECH",
+                       help="mechanism name (`repro mechanisms` lists them)")
     stats.add_argument("--instructions", type=int, default=40_000)
     stats.add_argument("--warmup", type=int, default=15_000)
     stats.add_argument("--density", type=int, default=8,
@@ -1121,6 +1208,34 @@ def build_parser() -> argparse.ArgumentParser:
     wl = sub.add_parser("workloads", help="list the workload suite")
     wl.set_defaults(func=_cmd_workloads)
 
+    mech = sub.add_parser(
+        "mechanisms",
+        help="list the mechanism plugin registry, or --verify every "
+             "plugin against the conformance oracle + digest matrix",
+    )
+    mech.add_argument(
+        "--verify", action="store_true",
+        help="run every registered mechanism through a short strict-"
+             "conformance simulation and compare telemetry digests "
+             "against the committed oracle",
+    )
+    mech.add_argument("--workload", default="libq",
+                      choices=sorted(WORKLOADS))
+    mech.add_argument("--instructions", type=int, default=2_000)
+    mech.add_argument("--warmup", type=int, default=500)
+    mech.add_argument("--seed", type=int, default=1)
+    mech.add_argument(
+        "--digests", type=Path,
+        default=Path("tests/data/expected_digests.json"),
+        help="oracle digest file (default: tests/data/"
+             "expected_digests.json)",
+    )
+    mech.add_argument(
+        "--report-dir", type=Path, default=None, metavar="DIR",
+        help="write one JSON verification report per mechanism to DIR",
+    )
+    mech.set_defaults(func=_cmd_mechanisms)
+
     tm = sub.add_parser("timings", help="print timing parameters")
     tm.add_argument("--density", type=int, default=8, choices=(8, 16, 32, 64))
     tm.set_defaults(func=_cmd_timings)
@@ -1177,8 +1292,8 @@ def build_parser() -> argparse.ArgumentParser:
              "against the generating config and exits non-zero on any "
              "mismatch; report does the diff but always exits zero",
     )
-    probe.add_argument("--mechanism", default="baseline",
-                       choices=MECHANISMS)
+    probe.add_argument("--mechanism", default="baseline", metavar="MECH",
+                       help="mechanism name (`repro mechanisms` lists them)")
     probe.add_argument("--density", type=int, default=8,
                        choices=(8, 16, 32, 64))
     probe.add_argument("--banks", type=int, default=None, metavar="N",
@@ -1250,6 +1365,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as exc:
+        # Bad configuration (unknown mechanism name, invalid knob):
+        # argparse's convention is exit code 2 with a message on stderr.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream pager/head closed the pipe mid-output: the Unix
         # convention is a quiet exit, not a traceback. Detach stdout so

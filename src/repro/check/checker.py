@@ -35,12 +35,16 @@ accumulate on the :class:`~repro.check.CheckReport`.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.dram.commands import ActTimings, Command, CommandKind, RowId, RowKind
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import REF_COMMANDS_PER_WINDOW, TimingParameters
 from repro.errors import ConfigError, ConformanceError
 from repro.check.violations import CheckReport, CheckViolation
+
+if TYPE_CHECKING:
+    from repro.check.invariants import CheckerInvariant
 
 __all__ = ["ProtocolChecker", "REFRESH_POSTPONE_SLACK"]
 
@@ -109,6 +113,7 @@ class ProtocolChecker:
         extended_refresh: bool = False,
         weak_rows: "frozenset[tuple[int, int]] | set[tuple[int, int]]" = (),
         assume_ideal_duplicates: bool = False,
+        invariants: "tuple[CheckerInvariant, ...]" = (),
         mode: str = "strict",
         max_violations: int = 200,
     ) -> None:
@@ -131,6 +136,10 @@ class ProtocolChecker:
         #: ever copying (100% hit rate by construction); the duplicate-
         #: mapping invariant is vacuous for it.
         self.assume_ideal_duplicates = assume_ideal_duplicates
+        #: Mechanism-contributed invariants (``repro.check.invariants``):
+        #: shadow mirrors of a plugin's observable contract, dispatched
+        #: after the base checks of every observed command.
+        self.invariants = tuple(invariants)
         self.mode = mode
         self.max_violations = max_violations
         self.report = CheckReport()
@@ -218,6 +227,28 @@ class ProtocolChecker:
         if self.mode == "strict":
             raise ConformanceError(violation)
 
+    def violate(
+        self,
+        cycle: int,
+        bank: int,
+        constraint: str,
+        command: str,
+        prior: str = "",
+        required: int | None = None,
+        actual: int | None = None,
+        message: str = "",
+    ) -> None:
+        """Public violation entry for mechanism invariants.
+
+        Same plumbing as the checker's own checks: the violation lands
+        in the report, and strict mode raises
+        :class:`~repro.errors.ConformanceError`.
+        """
+        self._violate(
+            cycle, bank, constraint, command, prior,
+            required=required, actual=actual, message=message,
+        )
+
     def _check_gap(
         self,
         now: int,
@@ -290,6 +321,8 @@ class ProtocolChecker:
             self._observe_ref(now, command)
         bus_cycles = 2 if kind in (CommandKind.ACT_C, CommandKind.ACT_T) else 1
         self._bus_free = max(self._bus_free, now + bus_cycles)
+        for invariant in self.invariants:
+            invariant.on_command(self, now, command)
 
     # ------------------------------------------------------------------
     # Activations
@@ -633,6 +666,7 @@ class ProtocolChecker:
                 "commands": self.report.commands,
                 "truncated": self.report.truncated,
             },
+            "invariants": [inv.state_dict() for inv in self.invariants],
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -658,6 +692,11 @@ class ProtocolChecker:
         self.report.violations = list(state["report"]["violations"])
         self.report.commands = state["report"]["commands"]
         self.report.truncated = state["report"]["truncated"]
+        # Snapshots written before invariants existed lack the key.
+        for invariant, inv_state in zip(
+            self.invariants, state.get("invariants", ())
+        ):
+            invariant.load_state_dict(inv_state)
 
     # ------------------------------------------------------------------
     # End-of-run checks
@@ -683,4 +722,6 @@ class ProtocolChecker:
                         f"window"
                     ),
                 )
+        for invariant in self.invariants:
+            invariant.finalize(self, end_cycle)
         return self.report

@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass
 from repro.check.violations import CheckReport
 from repro.dram.geometry import DramGeometry
 from repro.errors import ConfigError
+from repro.mech import get_plugin
 from repro.sim.config import MECHANISMS, SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.sweep import derive_trace_seed
@@ -80,8 +81,8 @@ class Scenario:
     def __post_init__(self) -> None:
         if not self.workloads:
             raise ConfigError("scenario needs at least one workload")
-        if self.mechanism not in MECHANISMS:
-            raise ConfigError(f"unknown mechanism {self.mechanism!r}")
+        # Raises ConfigError listing the registered names when unknown.
+        get_plugin(self.mechanism)
 
     def to_config(self, mode: str = "strict") -> SystemConfig:
         """The SystemConfig this scenario describes (checker attached)."""

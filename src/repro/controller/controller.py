@@ -85,6 +85,14 @@ class ChannelController:
         )
         self.schedule_event = schedule_event
         self.refresh_enabled = refresh_enabled
+        # Construction-time override detection: mechanisms that pace
+        # their own work (HiRA) override next_wake; everyone else pays
+        # one `is not None` branch per tick instead of a method call.
+        self._mech_wake = (
+            self.mechanism.next_wake
+            if type(self.mechanism).next_wake is not Mechanism.next_wake
+            else None
+        )
 
         self.read_q: list[MemRequest] = []
         self.write_q: list[MemRequest] = []
@@ -191,6 +199,8 @@ class ChannelController:
             wake = IDLE
 
         timeout_wake = self._apply_row_timeout(now)
+        if self._mech_wake is not None:
+            wake = min(wake, self._mech_wake(now))
         return max(now + 1, min(wake, timeout_wake, self.next_ref))
 
     # ------------------------------------------------------------------

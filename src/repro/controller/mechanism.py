@@ -17,7 +17,11 @@ from repro.dram.bank import PrechargeResult
 from repro.dram.commands import ActTimings, CommandKind, RowId
 from repro.dram.timing import TimingParameters
 
-__all__ = ["ActivationPlan", "Mechanism", "NoMechanism"]
+__all__ = ["IDLE", "ActivationPlan", "Mechanism", "NoMechanism"]
+
+#: Sentinel wake time meaning "no mechanism-scheduled work pending".
+#: Mirrors the controller's idle sentinel so wake times min() cleanly.
+IDLE = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,13 @@ class Mechanism:
 
     #: Human-readable name used in experiment tables.
     name = "baseline"
+
+    #: Telemetry stat-group suffix (exported as ``mech.<namespace>``)
+    #: for mechanisms whose :meth:`stats` should appear in telemetry
+    #: snapshots. ``None`` keeps :meth:`stats` out of telemetry — the
+    #: default, because the committed digest oracle predates per-
+    #: mechanism namespaces and must stay byte-identical.
+    telemetry_namespace: str | None = None
 
     def __init__(self, geometry, timing: TimingParameters) -> None:
         self.geometry = geometry
@@ -111,6 +122,18 @@ class Mechanism:
 
     def on_refresh(self, refreshed_rows: range, now: int) -> None:
         """Called after a REF command with the regular-row range covered."""
+
+    def next_wake(self, now: int) -> int:
+        """Earliest cycle mechanism-initiated work next comes due.
+
+        An otherwise-idle controller sleeps until its next refresh; a
+        mechanism that paces its own work (HiRA's hidden refresh
+        activations) overrides this so the controller wakes for it.
+        Return :data:`IDLE` when nothing is scheduled. The controller
+        detects the override at construction time, so the base hook
+        costs nothing per tick.
+        """
+        return IDLE
 
     # ------------------------------------------------------------------
     # Snapshot support

@@ -1,0 +1,46 @@
+"""Mechanism plugin registry (`repro.mech`).
+
+Every DRAM mechanism the simulator can run — the CROW substrate family,
+the related-work baselines, and any future addition — is a
+:class:`MechanismPlugin` registered under a stable name with
+:func:`register_mechanism`. The plugin owns everything that used to be
+hand-wired, name-by-name, through ``sim/config.py``, ``sim/factory.py``
+and ``sim/system.py``:
+
+* **construction** — :meth:`MechanismPlugin.build` turns a
+  :class:`BuildContext` into the per-channel
+  :class:`~repro.controller.mechanism.Mechanism` hook object (which in
+  turn owns command rewriting, timing overrides and urgent plans);
+* **structure** — :meth:`~MechanismPlugin.geometry_overrides` (copy-row
+  provisioning, SALP subarray sizing) and
+  :meth:`~MechanismPlugin.salp_subarrays`;
+* **refresh policy** — :meth:`~MechanismPlugin.uses_controller_refresh`
+  decides whether the controller runs the periodic all-bank REF loop
+  (HiRA turns it off and refreshes via hidden row activations instead);
+* **conformance** — :meth:`~MechanismPlugin.checker_invariant` attaches
+  a per-plugin :class:`~repro.check.invariants.CheckerInvariant` to the
+  shadow oracle, and :meth:`~MechanismPlugin.assume_ideal_duplicates`
+  relaxes the CROW duplicate rule for the ideal bounds;
+* **telemetry** — a mechanism class with a ``telemetry_namespace``
+  exports its counters under ``mech.<namespace>`` in the registry dump.
+
+Lookup failures and duplicate registrations raise
+:class:`~repro.errors.ConfigError` naming the registered mechanisms, so
+a typo on the CLI (``--mechanism nope``) produces an actionable message
+instead of a traceback.
+"""
+
+from repro.mech.plugin import BuildContext, MechanismPlugin
+from repro.mech.registry import (
+    get_plugin,
+    mechanism_names,
+    register_mechanism,
+)
+
+__all__ = [
+    "BuildContext",
+    "MechanismPlugin",
+    "get_plugin",
+    "mechanism_names",
+    "register_mechanism",
+]

@@ -43,6 +43,7 @@ from repro.errors import (
     ProtocolError,
     TimingViolationError,
 )
+from repro.mech import get_plugin
 from repro.sim import factory
 from repro.sim.config import SystemConfig
 from repro.telemetry import StatRegistry
@@ -116,11 +117,8 @@ class ProbeSession:
             if mechanism_retention is not None
             else factory.retention_model(config, self.geometry)
         )
-        salp_subarrays = (
-            self.geometry.subarrays_per_bank
-            if config.mechanism == "salp"
-            else None
-        )
+        plugin = get_plugin(config.mechanism)
+        salp_subarrays = plugin.salp_subarrays(config, self.geometry)
         self.device = DramChannel(
             self.geometry, self.timing, salp_subarrays=salp_subarrays
         )
@@ -130,10 +128,13 @@ class ProbeSession:
 
             refresh_enabled = (
                 config.refresh_enabled
-                and config.mechanism not in ("no-refresh", "ideal")
+                and plugin.uses_controller_refresh(config)
             )
             extended = (
                 self.timing.refresh_window_ms > config.refresh_window_ms
+            )
+            invariant = plugin.checker_invariant(
+                config, self.geometry, self.timing
             )
             self.checker = ProtocolChecker(
                 self.geometry,
@@ -148,9 +149,10 @@ class ProbeSession:
                     if extended
                     else ()
                 ),
-                assume_ideal_duplicates=(
-                    config.mechanism in ("ideal-crow-cache", "ideal")
+                assume_ideal_duplicates=plugin.assume_ideal_duplicates(
+                    config
                 ),
+                invariants=() if invariant is None else (invariant,),
                 mode="strict",
             )
             factory.seed_checker_remaps(self.checker, self.mechanism)

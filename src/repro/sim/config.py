@@ -9,25 +9,16 @@ from repro.cpu.cache import CacheConfig
 from repro.cpu.core import CoreConfig
 from repro.dram.geometry import DramGeometry
 from repro.errors import ConfigError
+from repro.mech import get_plugin, mechanism_names
 from repro.units import MIB
 
 __all__ = ["SystemConfig", "MECHANISMS"]
 
-#: Mechanism names accepted by :class:`SystemConfig`.
-MECHANISMS = (
-    "baseline",
-    "crow-cache",
-    "crow-ref",
-    "crow-combined",
-    "crow-hammer",
-    "crow-full",
-    "ideal-crow-cache",
-    "ideal",            # ideal CROW-cache + no refresh (Figure 14 bound)
-    "no-refresh",
-    "tl-dram",
-    "salp",
-    "chargecache",
-)
+#: Mechanism names accepted by :class:`SystemConfig` — a snapshot of the
+#: plugin registry (``repro.mech``) at import time, kept for seeded
+#: samplers and back-compat. The registry is the source of truth; the
+#: twelve pre-plugin names come first, in their historical order.
+MECHANISMS = mechanism_names()
 
 
 @dataclass(frozen=True)
@@ -60,6 +51,13 @@ class SystemConfig:
     tldram_near_rows: int = 8
     salp_subarrays_per_bank: int = 128
     salp_open_page: bool = True
+    # --- related-work plugins (repro.mech) -----------------------------
+    #: CnC-PRAC per-row activation-count alert threshold.
+    prac_threshold: int = 512
+    #: CnC-PRAC mitigation blast radius (neighbours per side).
+    prac_blast_radius: int = 1
+    #: CLR-DRAM full-latency activations before a row couples its pair.
+    clr_promote_threshold: int = 4
     # --- processor side --------------------------------------------------
     llc_size_bytes: int = 8 * MIB
     prefetcher: bool = False
@@ -93,12 +91,16 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ConfigError("cores must be >= 1")
-        if self.mechanism not in MECHANISMS:
-            raise ConfigError(
-                f"unknown mechanism {self.mechanism!r}; one of {MECHANISMS}"
-            )
+        # Raises ConfigError listing the registered names when unknown.
+        get_plugin(self.mechanism)
         if self.copy_rows < 0:
             raise ConfigError("copy_rows must be non-negative")
+        if self.prac_threshold < 1:
+            raise ConfigError("prac_threshold must be >= 1")
+        if self.prac_blast_radius < 1:
+            raise ConfigError("prac_blast_radius must be >= 1")
+        if self.clr_promote_threshold < 1:
+            raise ConfigError("clr_promote_threshold must be >= 1")
         if self.telemetry_epoch_cycles < 1:
             raise ConfigError("telemetry_epoch_cycles must be >= 1")
         if self.telemetry_trace_capacity < 0:
@@ -110,22 +112,10 @@ class SystemConfig:
             )
 
     def resolved_geometry(self) -> DramGeometry:
-        """Geometry with the mechanism's structural knobs applied."""
-        geometry = self.geometry
+        """Geometry with the mechanism plugin's structural knobs applied."""
         changes: dict = {"density_gbit": self.density_gbit}
-        if self.mechanism == "salp":
-            rows_per_subarray = (
-                geometry.rows_per_bank // self.salp_subarrays_per_bank
-            )
-            changes["rows_per_subarray"] = rows_per_subarray
-            changes["copy_rows_per_subarray"] = 0
-        elif self.mechanism == "tl-dram":
-            changes["copy_rows_per_subarray"] = self.tldram_near_rows
-        elif self.mechanism in ("baseline", "no-refresh", "chargecache"):
-            changes["copy_rows_per_subarray"] = 0
-        else:
-            changes["copy_rows_per_subarray"] = self.copy_rows
-        return replace(geometry, **changes)
+        changes.update(get_plugin(self.mechanism).geometry_overrides(self))
+        return replace(self.geometry, **changes)
 
     def llc_config(self) -> CacheConfig:
         """The LLC configuration implied by this system config."""

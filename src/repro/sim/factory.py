@@ -12,13 +12,11 @@ so the probe session cannot drift from the simulator proper.
 
 from __future__ import annotations
 
-from repro.baselines import ChargeCache, IdealCrowCache, SalpMasa, TlDram
-from repro.controller.mechanism import Mechanism, NoMechanism
-from repro.core import CrowCache, CrowCacheRef, CrowRef, RowHammerMitigation
+from repro.controller.mechanism import Mechanism
 from repro.circuit import derive_crow_timing_factors
 from repro.dram import CrowTimings, RetentionModel, TimingParameters
 from repro.dram.geometry import DramGeometry
-from repro.errors import ConfigError
+from repro.mech import BuildContext, get_plugin
 from repro.sim.config import SystemConfig
 
 __all__ = [
@@ -61,7 +59,7 @@ def build_retention(
     config: SystemConfig, geometry: DramGeometry
 ) -> RetentionModel | None:
     """The retention model the *mechanism* consumes (CROW-ref family)."""
-    if config.mechanism not in ("crow-ref", "crow-combined", "crow-full"):
+    if not get_plugin(config.mechanism).needs_retention(config):
         return None
     return retention_model(config, geometry)
 
@@ -92,86 +90,23 @@ def build_mechanism(
     retention: RetentionModel | None,
     channel: int,
 ) -> Mechanism:
-    """The per-channel mechanism ``config`` describes (boot work included)."""
-    name = config.mechanism
-    if name in ("baseline", "no-refresh"):
-        return NoMechanism(geometry, timing)
-    if name == "crow-cache":
-        from repro.core.table import CrowTable
+    """The per-channel mechanism ``config`` describes (boot work included).
 
-        table = CrowTable(geometry, config.subarray_group_size)
-        return CrowCache(
-            geometry,
-            timing,
-            crow=crow_timings,
-            table=table,
-            allow_partial_restore=config.allow_partial_restore,
-            reduced_twr=config.reduced_twr,
-            act_c_early_termination=config.act_c_early_termination,
-            evict_partial=config.evict_partial,
-        )
-    if name == "crow-ref":
-        assert retention is not None
-        return CrowRef(
-            geometry,
-            timing,
-            retention,
-            crow=crow_timings,
+    Construction is delegated to the registered
+    :class:`~repro.mech.MechanismPlugin` — this helper only assembles the
+    :class:`~repro.mech.BuildContext` so both the simulator proper and
+    the probe session hand plugins identical inputs.
+    """
+    return get_plugin(config.mechanism).build(
+        BuildContext(
+            config=config,
+            geometry=geometry,
+            timing=timing,
+            crow_timings=crow_timings,
+            retention=retention,
             channel=channel,
-            base_window_ms=config.refresh_window_ms,
         )
-    if name == "crow-combined":
-        assert retention is not None
-        return CrowCacheRef(
-            geometry,
-            timing,
-            retention,
-            crow=crow_timings,
-            channel=channel,
-            base_window_ms=config.refresh_window_ms,
-            allow_partial_restore=config.allow_partial_restore,
-            reduced_twr=config.reduced_twr,
-            act_c_early_termination=config.act_c_early_termination,
-            evict_partial=config.evict_partial,
-        )
-    if name == "crow-full":
-        from repro.core import CrowFullSubstrate
-
-        assert retention is not None
-        return CrowFullSubstrate(
-            geometry,
-            timing,
-            retention,
-            crow=crow_timings,
-            channel=channel,
-            base_window_ms=config.refresh_window_ms,
-            hammer_threshold=config.hammer_threshold,
-            allow_partial_restore=config.allow_partial_restore,
-            reduced_twr=config.reduced_twr,
-            act_c_early_termination=config.act_c_early_termination,
-            evict_partial=config.evict_partial,
-        )
-    if name == "crow-hammer":
-        return RowHammerMitigation(
-            geometry,
-            timing,
-            crow=crow_timings,
-            hammer_threshold=config.hammer_threshold,
-        )
-    if name in ("ideal-crow-cache", "ideal"):
-        return IdealCrowCache(
-            geometry,
-            timing,
-            crow=crow_timings,
-            allow_partial_restore=config.allow_partial_restore,
-        )
-    if name == "tl-dram":
-        return TlDram(geometry, timing)
-    if name == "salp":
-        return SalpMasa(geometry, timing, open_page=config.salp_open_page)
-    if name == "chargecache":
-        return ChargeCache(geometry, timing)
-    raise ConfigError(f"unknown mechanism {name!r}")
+    )
 
 
 def final_timing(

@@ -19,6 +19,7 @@ from repro.cpu.core import TraceRecord, _MemOp
 from repro.dram import AddressMapper, CellArray, DramChannel
 from repro.energy import ChannelActivity, EnergyModel, IddCurrents
 from repro.errors import ConfigError, ReproError, SnapshotError
+from repro.mech import get_plugin
 from repro.sim import factory
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
@@ -332,13 +333,11 @@ class System:
             for ch in range(self.geometry.channels)
         ]
         self.timing = factory.final_timing(base_timing, self.mechanisms)
-        refresh_enabled = config.refresh_enabled and config.mechanism not in (
-            "no-refresh",
-            "ideal",
+        plugin = get_plugin(config.mechanism)
+        refresh_enabled = (
+            config.refresh_enabled and plugin.uses_controller_refresh(config)
         )
-        salp_subarrays = (
-            self.geometry.subarrays_per_bank if config.mechanism == "salp" else None
-        )
+        salp_subarrays = plugin.salp_subarrays(config, self.geometry)
         self.cell_arrays = []
         self.channels = []
         for ch in range(self.geometry.channels):
@@ -372,8 +371,13 @@ class System:
             from repro.check import ProtocolChecker
 
             extended = self.timing.refresh_window_ms > config.refresh_window_ms
-            ideal = config.mechanism in ("ideal-crow-cache", "ideal")
+            ideal = plugin.assume_ideal_duplicates(config)
             for ch, channel in enumerate(self.channels):
+                # Fresh invariant per channel: invariants carry mutable
+                # shadow state, one checker each.
+                invariant = plugin.checker_invariant(
+                    config, self.geometry, self.timing
+                )
                 checker = ProtocolChecker(
                     self.geometry,
                     self.timing,
@@ -386,17 +390,14 @@ class System:
                         else ()
                     ),
                     assume_ideal_duplicates=ideal,
+                    invariants=() if invariant is None else (invariant,),
                     mode=config.check_mode,
                 )
                 factory.seed_checker_remaps(checker, self.mechanisms[ch])
                 channel.checker = checker
                 self.checkers.append(checker)
         self.events = _EventQueue()
-        controller_config = config.controller
-        if config.mechanism == "salp" and config.salp_open_page:
-            from dataclasses import replace
-
-            controller_config = replace(controller_config, row_timeout_ns=None)
+        controller_config = plugin.controller_config(config, config.controller)
         self.controllers = [
             ChannelController(
                 channel,

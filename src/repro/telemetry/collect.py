@@ -224,6 +224,7 @@ class SystemTelemetry:
         self._harvest_controllers()
         self._harvest_dram(end, cycles)
         self._harvest_crow()
+        self._harvest_mechanism()
         self._harvest_cpu()
         export = self.registry.export()
         if self.trace is not None:
@@ -359,6 +360,30 @@ class SystemTelemetry:
             group.counter("ref_fallback_subarrays").set(
                 sum(r.fallback_subarrays for r in refs)
             )
+
+    def _harvest_mechanism(self) -> None:
+        """Per-mechanism stat namespaces (``mech.<namespace>``).
+
+        Opt-in via ``Mechanism.telemetry_namespace``: mechanisms that
+        predate per-mechanism namespaces leave it ``None`` so the
+        committed digest oracle stays byte-identical; plugins that set
+        it get their :meth:`~repro.controller.mechanism.Mechanism.stats`
+        summed across channels into telemetry snapshots.
+        """
+        mechanisms = self.system.mechanisms
+        namespace = mechanisms[0].telemetry_namespace
+        if namespace is None:
+            return
+        totals: dict[str, float] = {}
+        for mechanism in mechanisms:
+            for key, value in mechanism.stats().items():
+                totals[key] = totals.get(key, 0.0) + value
+        group = self.registry.group("mech").group(namespace)
+        for key, value in totals.items():
+            if value == int(value):
+                group.counter(key).set(int(value))
+            else:
+                group.gauge(key).set(round(value, 6))
 
     def _harvest_cpu(self) -> None:
         system = self.system

@@ -14,11 +14,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "quake3"])
 
-    def test_rejects_unknown_mechanism(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["run", "libq", "--mechanism", "magic"]
-            )
+    def test_rejects_unknown_mechanism(self, capsys):
+        # Names are validated against the plugin registry at config
+        # construction, not by argparse: exit 2, error lists the registry.
+        code = main(
+            ["run", "libq", "--mechanism", "magic",
+             "--instructions", "1000", "--warmup", "100"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown mechanism 'magic'" in err
+        assert "crow-cache" in err and "hira" in err
 
     def test_perf_defaults(self):
         args = build_parser().parse_args(["perf"])
@@ -125,11 +131,16 @@ class TestStatsCommand:
 
 
 class TestCampaignCommand:
-    def test_rejects_unknown_mechanism(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["campaign", "libq", "--mechanisms", "magic"]
-            )
+    def test_rejects_unknown_mechanism(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "libq", "--mechanisms", "magic",
+             "--instructions", "1000", "--warmup", "100",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown mechanism 'magic'" in err
+        assert "registered mechanisms" in err
 
     def test_serial_campaign(self, capsys, tmp_path):
         code = main([
