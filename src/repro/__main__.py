@@ -828,7 +828,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import compare, load_results, run_suite, write_results
 
-    doc = run_suite(repeat=args.repeat, progress=print)
+    doc = run_suite(repeat=args.repeat, progress=print, engine=args.engine)
     write_results(doc, args.output)
     print(f"wrote {args.output} (composite {doc['composite']:.4f})")
     if args.compare is None:
@@ -1354,6 +1354,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--threshold", type=float, default=0.15, metavar="FRACTION",
         help="allowed composite drop vs the baseline (default: 0.15)",
+    )
+    perf.add_argument(
+        "--engine", default="event", choices=["event", "batch"],
+        help="simulation engine to benchmark (digests are engine-"
+             "invariant, so either compares against the same baseline)",
     )
     perf.set_defaults(func=_cmd_perf)
     return parser

@@ -120,6 +120,11 @@ class ChannelController:
         )
         self._salp_pre_cmds: dict[tuple[int, int], Command] = {}
         self._ref_cmd = Command(CommandKind.REF)
+        # Activation commands are likewise immutable and fully determined
+        # by (kind, bank, rows, timings); candidates are re-planned every
+        # scheduling pass until they issue, so the same command is built
+        # many times over.
+        self._act_cmds: dict[tuple, Command] = {}
 
         # Statistics.
         self.stats = {
@@ -282,10 +287,26 @@ class ChannelController:
         """
         earliest_any = IDLE
         evaluated = 0
-        for request in self.scheduler.ranked(
-            queue, self._is_row_hit, self._streak_of
-        ):
-            command, plan = self._next_command(request, now)
+        # Bank state cannot change between ranking and candidate
+        # evaluation (issuing returns immediately below), so the
+        # (service row, open rows) pair the ranking probe computes is
+        # still valid when the candidate is evaluated — memoize it per
+        # request instead of recomputing in _next_command.
+        service_row = self.mechanism.service_row
+        open_rows_of = self._open_rows
+        rowinfo: dict[int, tuple] = {}
+
+        def is_hit(request: MemRequest) -> bool:
+            bank = request.location.bank
+            srow = service_row(bank, request.location.row)
+            open_rows = open_rows_of(bank, srow)
+            rowinfo[id(request)] = (srow, open_rows)
+            return open_rows is not None and srow in open_rows
+
+        for request in self.scheduler.ranked(queue, is_hit, self._streak_of):
+            command, plan = self._next_command(
+                request, now, rowinfo.get(id(request))
+            )
             earliest = self.channel.earliest_issue(command)
             if earliest <= now:
                 self._issue_for_request(request, command, plan, now)
@@ -296,27 +317,29 @@ class ChannelController:
                 break
         return False, earliest_any
 
-    def _is_row_hit(self, request: MemRequest) -> bool:
-        bank = request.location.bank
-        srow = self.mechanism.service_row(bank, request.location.row)
-        open_rows = self._open_rows(bank, srow)
-        return open_rows is not None and srow in open_rows
-
     def _streak_of(self, request: MemRequest) -> int:
         return self.hit_streak[request.location.bank]
 
     def _next_command(
-        self, request: MemRequest, now: int
+        self,
+        request: MemRequest,
+        now: int,
+        rowinfo: tuple | None = None,
     ) -> tuple[Command, ActivationPlan | None]:
         """The next DRAM command needed to advance ``request``.
 
         ``plan_activation`` must be side-effect free: the controller may
         evaluate several candidates per tick and re-plan on later ticks;
         mechanisms mutate their state only in ``on_activate``.
+        ``rowinfo`` is an optional ``(service row, open rows)`` pair
+        memoized by the ranking probe within the same scheduling pass.
         """
         bank = request.location.bank
-        srow = self.mechanism.service_row(bank, request.location.row)
-        open_rows = self._open_rows(bank, srow)
+        if rowinfo is not None:
+            srow, open_rows = rowinfo
+        else:
+            srow = self.mechanism.service_row(bank, request.location.row)
+            open_rows = self._open_rows(bank, srow)
         if open_rows is not None and srow in open_rows:
             subarray = srow.subarray if self._salp else None
             cached = request.col_cmd
@@ -335,10 +358,14 @@ class ChannelController:
         if open_rows is not None:
             return self._pre_command(bank, srow.subarray), None
         plan = self.mechanism.plan_activation(bank, request.location.row, now)
-        return (
-            Command(plan.kind, bank=bank, rows=plan.rows, timings=plan.timings),
-            plan,
-        )
+        key = (plan.kind, bank, plan.rows, plan.timings)
+        command = self._act_cmds.get(key)
+        if command is None:
+            command = Command(
+                plan.kind, bank=bank, rows=plan.rows, timings=plan.timings
+            )
+            self._act_cmds[key] = command
+        return command, plan
 
     def _issue_for_request(
         self,

@@ -18,13 +18,90 @@ activated regular rows in the subarray's copy rows:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.controller.mechanism import ActivationPlan, Mechanism
 from repro.errors import ConfigError
 from repro.dram.commands import ActTimings, CommandKind, RowId
 from repro.dram.timing import CrowTimings, TimingParameters
 from repro.core.table import CrowTable, EntryOwner
 
-__all__ = ["CrowCache"]
+__all__ = [
+    "CrowCache",
+    "crow_act_t_timings",
+    "crow_act_c_timings",
+]
+
+
+def _twr_pair(crow: CrowTimings, reduced_twr: bool) -> "tuple[int, int | None]":
+    if reduced_twr:
+        return crow.twr_mra_early, crow.twr_mra_full
+    return crow.twr_mra_full, None
+
+
+@lru_cache(maxsize=None)
+def crow_act_t_timings(
+    crow: CrowTimings,
+    allow_partial_restore: bool,
+    reduced_twr: bool,
+    fully_restored: bool,
+    force_full: bool = False,
+) -> ActTimings:
+    """``ACT-t`` timing set for a given pair restoration state.
+
+    Pure function of the CROW timing factors and the config knobs — the
+    single source both the live mechanism (:class:`CrowCache`) and the
+    compiled engine tables (:mod:`repro.engine.tables`) derive from.
+    Cached: the controller re-plans candidate activations every
+    scheduling pass, and all inputs are frozen dataclasses or bools.
+    """
+    trcd = crow.trcd_act_t_full if fully_restored else crow.trcd_act_t_partial
+    if force_full:
+        return ActTimings(
+            trcd=trcd,
+            tras_full=crow.tras_act_t_full,
+            tras_early=crow.tras_act_t_full,
+            twr=crow.twr_mra_full,
+        )
+    if allow_partial_restore:
+        tras_early = (
+            crow.tras_act_t_early
+            if fully_restored
+            else crow.tras_act_t_partial_early
+        )
+    else:
+        tras_early = crow.tras_act_t_full
+    twr, twr_full = _twr_pair(crow, reduced_twr)
+    return ActTimings(
+        trcd=trcd,
+        tras_full=crow.tras_act_t_full,
+        tras_early=tras_early,
+        twr=twr,
+        twr_full=twr_full,
+    )
+
+
+@lru_cache(maxsize=None)
+def crow_act_c_timings(
+    crow: CrowTimings,
+    allow_partial_restore: bool,
+    reduced_twr: bool,
+    act_c_early_termination: bool,
+) -> ActTimings:
+    """``ACT-c`` (duplicating activation) timing set (cached, pure)."""
+    tras_early = (
+        crow.tras_act_c_early
+        if allow_partial_restore and act_c_early_termination
+        else crow.tras_act_c_full
+    )
+    twr, twr_full = _twr_pair(crow, reduced_twr)
+    return ActTimings(
+        trcd=crow.trcd_act_c,
+        tras_full=crow.tras_act_c_full,
+        tras_early=tras_early,
+        twr=twr,
+        twr_full=twr_full,
+    )
 
 
 class CrowCache(Mechanism):
@@ -76,56 +153,25 @@ class CrowCache(Mechanism):
     # ------------------------------------------------------------------
     # Timing selection
     # ------------------------------------------------------------------
-    def _twr_pair(self) -> tuple[int, int | None]:
-        if self.reduced_twr:
-            return self.crow.twr_mra_early, self.crow.twr_mra_full
-        return self.crow.twr_mra_full, None
-
     def act_t_timings(
         self, fully_restored: bool, force_full: bool = False
     ) -> ActTimings:
         """Timings for ``ACT-t`` given the pair's restoration state."""
-        crow = self.crow
-        trcd = crow.trcd_act_t_full if fully_restored else crow.trcd_act_t_partial
-        if force_full:
-            return ActTimings(
-                trcd=trcd,
-                tras_full=crow.tras_act_t_full,
-                tras_early=crow.tras_act_t_full,
-                twr=crow.twr_mra_full,
-            )
-        if self.allow_partial_restore:
-            tras_early = (
-                crow.tras_act_t_early
-                if fully_restored
-                else crow.tras_act_t_partial_early
-            )
-        else:
-            tras_early = crow.tras_act_t_full
-        twr, twr_full = self._twr_pair()
-        return ActTimings(
-            trcd=trcd,
-            tras_full=crow.tras_act_t_full,
-            tras_early=tras_early,
-            twr=twr,
-            twr_full=twr_full,
+        return crow_act_t_timings(
+            self.crow,
+            self.allow_partial_restore,
+            self.reduced_twr,
+            fully_restored,
+            force_full,
         )
 
     def act_c_timings(self) -> ActTimings:
         """Timings for the ``ACT-c`` duplication command."""
-        crow = self.crow
-        tras_early = (
-            crow.tras_act_c_early
-            if self.allow_partial_restore and self.act_c_early_termination
-            else crow.tras_act_c_full
-        )
-        twr, twr_full = self._twr_pair()
-        return ActTimings(
-            trcd=crow.trcd_act_c,
-            tras_full=crow.tras_act_c_full,
-            tras_early=tras_early,
-            twr=twr,
-            twr_full=twr_full,
+        return crow_act_c_timings(
+            self.crow,
+            self.allow_partial_restore,
+            self.reduced_twr,
+            self.act_c_early_termination,
         )
 
     # ------------------------------------------------------------------
@@ -135,7 +181,10 @@ class CrowCache(Mechanism):
         """Mechanism hook: choose the activation command for ``row``."""
         rows_per_subarray = self.geometry.rows_per_subarray
         subarray, index = divmod(row, rows_per_subarray)
-        regular = RowId.regular(row, rows_per_subarray)
+        # The base-class service_row memo returns exactly
+        # RowId.regular(row, rows_per_subarray) — reuse it instead of
+        # constructing a fresh RowId on every (re-)planning pass.
+        regular = self.service_row(bank, row)
         entry = self.table.lookup(bank, subarray, index)
         if entry is not None and entry.owner is EntryOwner.CACHE:
             return ActivationPlan(

@@ -118,11 +118,14 @@ class CrowTable:
         self.group_size = subarray_group_size
         self.ways = geometry.copy_rows_per_subarray
         groups_per_bank = geometry.subarrays_per_bank // subarray_group_size
-        self._sets: list[list[list[CrowEntry]]] = [
-            [
-                [CrowEntry(subarray=-1, way=w) for w in range(self.ways)]
-                for _ in range(groups_per_bank)
-            ]
+        # Sets materialize lazily on first access: a full table is banks
+        # × groups × ways entries (tens of thousands), and short runs
+        # touch a small fraction of the subarrays. ``None`` stands for a
+        # set whose entries are all still in the freshly-constructed
+        # state; :meth:`state_dict` emits the equivalent default tuples,
+        # so snapshots are byte-identical to an eager table's.
+        self._sets: list[list[list[CrowEntry] | None]] = [
+            [None] * groups_per_bank
             for _ in range(geometry.banks_per_channel)
         ]
 
@@ -131,7 +134,14 @@ class CrowTable:
     # ------------------------------------------------------------------
     def entries(self, bank: int, subarray: int) -> list[CrowEntry]:
         """The set of entries governing ``subarray`` of ``bank``."""
-        return self._sets[bank][subarray // self.group_size]
+        group = subarray // self.group_size
+        entries = self._sets[bank][group]
+        if entries is None:
+            entries = [
+                CrowEntry(subarray=-1, way=w) for w in range(self.ways)
+            ]
+            self._sets[bank][group] = entries
+        return entries
 
     def lookup(
         self, bank: int, subarray: int, regular_row: int
@@ -230,10 +240,16 @@ class CrowTable:
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Entry contents; the set/way structure is construction-fixed."""
+        default_set = [
+            CrowEntry(subarray=-1, way=w).state_dict()
+            for w in range(self.ways)
+        ]
         return {
             "sets": [
                 [
-                    [entry.state_dict() for entry in entries]
+                    list(default_set)
+                    if entries is None
+                    else [entry.state_dict() for entry in entries]
                     for entries in bank_sets
                 ]
                 for bank_sets in self._sets
@@ -242,7 +258,14 @@ class CrowTable:
 
     def load_state_dict(self, state: dict) -> None:
         for bank_sets, bank_state in zip(self._sets, state["sets"]):
-            for entries, entries_state in zip(bank_sets, bank_state):
+            for group, entries_state in enumerate(bank_state):
+                entries = bank_sets[group]
+                if entries is None:
+                    entries = [
+                        CrowEntry(subarray=-1, way=w)
+                        for w in range(self.ways)
+                    ]
+                    bank_sets[group] = entries
                 for entry, entry_state in zip(entries, entries_state):
                     entry.load_state_dict(entry_state)
 
@@ -254,6 +277,8 @@ class CrowTable:
         total = 0
         for bank_sets in self._sets:
             for entries in bank_sets:
+                if entries is None:
+                    continue
                 for entry in entries:
                     if entry.allocated and (owner is None or entry.owner is owner):
                         total += 1

@@ -50,6 +50,62 @@ class VirtualMemory:
             self._page_table[key] = frame
         return (frame << _PAGE_SHIFT) | (vaddr & _PAGE_MASK)
 
+    def bulk_map(self, keys: "list[int]") -> "list[int]":
+        """Frames for page-table keys, allocating the missing ones.
+
+        ``keys`` are ``(asid << ASID_SHIFT) | vpage`` integers in
+        *first-touch order*: missing pages allocate one frame each, in
+        list order, drawing from the allocator RNG exactly as the same
+        sequence of :meth:`translate` calls would. Bulk consumers (the
+        batch engine's pre-warm) rely on that draw-for-draw equivalence
+        to keep snapshots byte-identical across engines.
+
+        Allocation draws are batched: one ``integers(n, size=k)`` call
+        consumes the bit stream word-for-word like ``k`` scalar calls,
+        so the batch holds every allocation's *first* draw; collision
+        retries pop the next queued value (the value the scalar loop's
+        retry would draw), and only draws beyond the batch fall back to
+        scalar — total consumption matches the scalar loop exactly.
+        """
+        table = self._page_table
+        frames = [table.get(key) for key in keys]
+        missing = [i for i, frame in enumerate(frames) if frame is None]
+        if not missing:
+            return frames
+        used = self._used_frames
+        total = self.total_frames
+        if (
+            len(used) + len(missing) > total
+            or len({keys[i] for i in missing}) != len(missing)
+        ):
+            # Mid-way capacity exhaustion or duplicate first-touches:
+            # both need the scalar loop's interleaved allocate/lookup
+            # semantics, and neither can size an exact batch up front.
+            for i in missing:
+                key = keys[i]
+                frame = table.get(key)
+                if frame is None:
+                    frame = self._allocate_frame()
+                    table[key] = frame
+                frames[i] = frame
+            return frames
+        draws = iter(self._rng.integers(total, size=len(missing)).tolist())
+        add = used.add
+        for i in missing:
+            while True:
+                frame = next(draws, None)
+                if frame is None:
+                    # Collisions pushed consumption past the batch; the
+                    # remaining draws continue scalar, in stream order.
+                    frame = self._allocate_frame()
+                    break
+                if frame not in used:
+                    add(frame)
+                    break
+            table[keys[i]] = frame
+            frames[i] = frame
+        return frames
+
     def _allocate_frame(self) -> int:
         if len(self._used_frames) >= self.total_frames:
             raise CapacityError("physical memory exhausted")

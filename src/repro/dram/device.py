@@ -79,22 +79,24 @@ class DramChannel:
                 BankState(timing) for _ in range(geometry.banks_per_channel)
             ]
         self.cell_array = cell_array
-        self._base_act_timings = ActTimings(
-            trcd=timing.trcd,
-            tras_full=timing.tras,
-            tras_early=timing.tras,
-            twr=timing.twr,
-        )
-        # Precomputed timing-constraint table: every cross-command spacing
+        # Compiled timing-advance tables: every cross-command spacing
         # that earliest_issue()/issue() needs is a sum of fixed timing
-        # parameters, so it is resolved once here per (command, state)
-        # transition instead of being re-added on every evaluation.
-        self._rd_after_rd = timing.tccd
-        self._rd_after_wr = timing.tcwl + timing.tbl + timing.twtr
-        self._wr_after_wr = timing.tccd
-        self._wr_after_rd = timing.tcl + timing.tbl + 2 - timing.tcwl
-        self._rd_data_delay = timing.tcl + timing.tbl
-        self._wr_done_delay = timing.tcwl + timing.tbl
+        # parameters, resolved once per parameter set (and shared with
+        # the batch engine — one source of truth for both). Imported
+        # lazily: repro.engine.tables reads this package's command
+        # definitions, so a module-level import would be circular.
+        from repro.engine.tables import compile_timing_tables
+
+        tables = compile_timing_tables(timing)
+        self.tables = tables
+        self._base_act_timings = tables.base_act
+        self._rd_after_rd = tables.rd_after_rd
+        self._rd_after_wr = tables.rd_after_wr
+        self._wr_after_wr = tables.wr_after_wr
+        self._wr_after_rd = tables.wr_after_rd
+        self._rd_data_delay = tables.rd_data_delay
+        self._wr_done_delay = tables.wr_done_delay
+        self._bus_cycles = tables.bus_cycles
         # Channel/rank-scope state.
         self.cmd_bus_free = 0
         self.act_history: deque[int] = deque(maxlen=4)
@@ -239,35 +241,59 @@ class DramChannel:
         Raises :class:`ProtocolError` if the command is illegal in the
         current bank state regardless of time (e.g. ACT to an open bank).
         """
-        timing = self.timing
-        earliest = max(self.cmd_bus_free, self.ref_busy_until)
+        # Inline comparisons instead of max() calls: this is the hottest
+        # function in the timed phase (several calls per scheduling
+        # pass), and the builtin-call overhead is measurable.
+        earliest = self.cmd_bus_free
+        bound = self.ref_busy_until
+        if bound > earliest:
+            earliest = bound
         kind = command.kind
         if kind in _ACTIVATION_KINDS:
-            slot = self._bank_slot(command)
-            earliest = max(earliest, slot.earliest_act())
-            if self.last_act_time != _FAR_PAST:
-                earliest = max(earliest, self.last_act_time + timing.trrd)
+            bound = self._bank_slot(command).earliest_act()
+            if bound > earliest:
+                earliest = bound
+            last_act = self.last_act_time
+            if last_act != _FAR_PAST:
+                bound = last_act + self.timing.trrd
+                if bound > earliest:
+                    earliest = bound
             if len(self.act_history) == 4:
-                earliest = max(earliest, self.act_history[0] + timing.tfaw)
+                bound = self.act_history[0] + self.timing.tfaw
+                if bound > earliest:
+                    earliest = bound
         elif kind is CommandKind.RD:
-            slot = self._bank_slot(command)
-            earliest = max(earliest, slot.earliest_col())
-            if self.last_rd_issue != _FAR_PAST:
-                earliest = max(earliest, self.last_rd_issue + self._rd_after_rd)
-            if self.last_wr_issue != _FAR_PAST:
-                earliest = max(
-                    earliest, self.last_wr_issue + self._rd_after_wr
-                )
+            bound = self._bank_slot(command).earliest_col()
+            if bound > earliest:
+                earliest = bound
+            last_rd = self.last_rd_issue
+            if last_rd != _FAR_PAST:
+                bound = last_rd + self._rd_after_rd
+                if bound > earliest:
+                    earliest = bound
+            last_wr = self.last_wr_issue
+            if last_wr != _FAR_PAST:
+                bound = last_wr + self._rd_after_wr
+                if bound > earliest:
+                    earliest = bound
         elif kind is CommandKind.WR:
-            slot = self._bank_slot(command)
-            earliest = max(earliest, slot.earliest_col())
-            if self.last_wr_issue != _FAR_PAST:
-                earliest = max(earliest, self.last_wr_issue + self._wr_after_wr)
-            if self.last_rd_issue != _FAR_PAST:
-                earliest = max(earliest, self.last_rd_issue + self._wr_after_rd)
+            bound = self._bank_slot(command).earliest_col()
+            if bound > earliest:
+                earliest = bound
+            last_wr = self.last_wr_issue
+            if last_wr != _FAR_PAST:
+                bound = last_wr + self._wr_after_wr
+                if bound > earliest:
+                    earliest = bound
+            last_rd = self.last_rd_issue
+            if last_rd != _FAR_PAST:
+                bound = last_rd + self._wr_after_rd
+                if bound > earliest:
+                    earliest = bound
         elif kind is CommandKind.PRE:
-            slot = self._bank_slot(command)
-            earliest = max(earliest, slot.earliest_pre(honor_full_tras))
+            bound = self._bank_slot(command).earliest_pre(honor_full_tras)
+            if bound > earliest:
+                earliest = bound
         elif kind is CommandKind.REF:
             for bank in self.banks:
                 if bank.is_open:
@@ -275,10 +301,12 @@ class DramChannel:
             if self.salp:
                 for bank in self.banks:
                     for slot in bank.subarrays.values():  # type: ignore[union-attr]
-                        earliest = max(earliest, slot.ready_act)
+                        if slot.ready_act > earliest:
+                            earliest = slot.ready_act
             else:
                 for bank in self.banks:
-                    earliest = max(earliest, bank.ready_act)  # type: ignore[union-attr]
+                    if bank.ready_act > earliest:  # type: ignore[union-attr]
+                        earliest = bank.ready_act
         else:  # pragma: no cover - enum is exhaustive
             raise ProtocolError(f"unknown command kind {kind}")
         return earliest

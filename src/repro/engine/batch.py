@@ -1,0 +1,335 @@
+"""The table-driven batch engine.
+
+Three changes relative to the reference event engine, none of which may
+move a single observable value:
+
+1. **Vectorized functional warming.** ``prewarm`` dominates short runs
+   (it replays hundreds of thousands of accesses per core). The batch
+   engine consumes whole (vaddr, is_write) column arrays from the trace
+   layer (:meth:`TraceStream.take_arrays`), translates pages with one
+   ``np.unique`` per chunk (allocating missing frames in first-touch
+   order so the allocator RNG stream matches the scalar path draw for
+   draw), and simulates the LLC's exact LRU automaton across all sets
+   in parallel: accesses are grouped per set, and round ``r`` applies
+   the ``r``-th access of every set at once. The final tag/dirty matrix
+   is materialized back into the LLC's dict-of-sets representation —
+   byte-identical to what the scalar loop leaves behind.
+
+2. **Precompiled tables.** The per-config command-legality and
+   timing-advance constants come from
+   :func:`repro.engine.tables.compile_timing_tables`; the device layer
+   consumes the same compiled object, so both engines read identical
+   constants from one source of truth.
+
+3. **Batched min-wake driver.** The timed loops advance ``now``
+   straight to the min-wake horizon (earliest event or tickable wake),
+   with the event heap and component tuple held in locals and the heap
+   popped inline. The *sequence* of tick and event-callback invocations
+   is exactly the reference engine's — component ticks have side
+   effects (row-timeout precharges, drain-mode flips, refresh
+   scheduling), so none may be skipped or reordered.
+
+The cross-engine differential suite (``tests/engine/``) and the fuzz
+harness hold this engine to byte-identical telemetry digests, results
+and state trees against :class:`~repro.engine.event.EventEngine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.engine.tables import compile_timing_tables
+from repro.errors import ReproError
+
+__all__ = ["BatchEngine"]
+
+IDLE = 1 << 62
+
+#: Records pulled per core per pre-warm chunk. Larger chunks amortize
+#: the per-chunk numpy fixed costs; the scalar tail below bounds the
+#: LRU kernel's round count, so the chunk can be generous.
+_PREWARM_CHUNK = 131072
+
+#: When this few sets still have accesses left in a chunk, the LRU
+#: kernel finishes them with per-set Python loops instead of paying a
+#: full vector round's fixed cost per access. Hot-set workloads (libq)
+#: concentrate hundreds of accesses on a handful of sets; without the
+#: tail the round count — and with it the number of numpy dispatches —
+#: scales with the hottest set's access count.
+_SCALAR_TAIL_SETS = 96
+
+
+class BatchEngine:
+    """Vectorized driver producing the event engine's exact behaviour."""
+
+    name = "batch"
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.tables = compile_timing_tables(system.timing)
+
+    # ------------------------------------------------------------------
+    # Functional pre-warm
+    # ------------------------------------------------------------------
+    def prewarm(self, accesses_per_core: int) -> None:
+        system = self.system
+        llc = system.llc
+        traces = [core.trace for core in system.cores]
+        if (
+            llc.hits
+            or llc.misses
+            or llc.writebacks
+            or llc.prefetch_fills
+            or any(llc._sets)
+            or not all(
+                getattr(trace, "supports_arrays", False) for trace in traces
+            )
+        ):
+            # The vectorized kernel assumes a fresh LLC and array-capable
+            # traces; anything else takes the reference path.
+            system._prewarm_scalar(accesses_per_core)
+            return
+
+        from repro.cpu.translation import ASID_SHIFT, PAGE_MASK, PAGE_SHIFT
+
+        vm = system.vm
+        config = llc.config
+        offset_bits = llc._offset_bits
+        index_mask = llc._index_mask
+        index_bits = llc._index_bits
+        ways = llc._ways
+        n_sets = config.sets
+        # Page-offset bits that survive into the line base address.
+        line_offset_mask = PAGE_MASK & ~(config.line_bytes - 1)
+
+        bases = [core.core_id << ASID_SHIFT for core in system.cores]
+        n_cores = len(bases)
+        # Exact LRU state, all sets at once: row = one set, columns are
+        # LRU→MRU left to right, -1 marks an empty way. Empty ways sit
+        # at the *left*, so a miss always evicts/consumes column 0.
+        tag_state = np.full((n_sets, ways), -1, dtype=np.int64)
+        dirty_state = np.zeros((n_sets, ways), dtype=bool)
+        col = np.arange(ways)
+
+        remaining = accesses_per_core
+        while remaining:
+            n = min(_PREWARM_CHUNK, remaining)
+            remaining -= n
+            batches = [trace.take_arrays(n) for trace in traces]
+            lengths = [len(vaddrs) for vaddrs, _ in batches]
+            if not any(lengths):
+                break
+            # Interleave the per-core columns round-robin by access
+            # index — the order the scalar loop warms in, which fixes
+            # both the LRU state and the frame-allocation sequence.
+            if n_cores == 1:
+                vaddrs, writes = batches[0]
+                keys = bases[0] | (vaddrs >> PAGE_SHIFT)
+            elif all(length == n for length in lengths):
+                vaddrs = np.stack(
+                    [vaddrs for vaddrs, _ in batches], axis=1
+                ).ravel()
+                writes = np.stack(
+                    [writes for _, writes in batches], axis=1
+                ).ravel()
+                keys = (vaddrs >> PAGE_SHIFT) | np.tile(
+                    np.asarray(bases, dtype=np.int64), n
+                )
+            else:
+                # Ragged tail: some (finite) trace ran dry mid-chunk.
+                # Sorting by (access index, core) reproduces the scalar
+                # order, which skips exhausted streams and keeps going.
+                order = np.argsort(
+                    np.concatenate(
+                        [
+                            np.arange(length) * n_cores + core
+                            for core, length in enumerate(lengths)
+                        ]
+                    ),
+                    kind="stable",
+                )
+                vaddrs = np.concatenate(
+                    [vaddrs for vaddrs, _ in batches]
+                )[order]
+                writes = np.concatenate(
+                    [writes for _, writes in batches]
+                )[order]
+                keys = (vaddrs >> PAGE_SHIFT) | np.concatenate(
+                    [
+                        np.full(length, base, dtype=np.int64)
+                        for base, length in zip(bases, lengths)
+                    ]
+                )[order]
+
+            # Translation: one page-table probe per distinct page, with
+            # missing frames allocated in first-touch order (identical
+            # np.random.Generator consumption to per-access translate).
+            uniq, first_index, inverse = np.unique(
+                keys, return_index=True, return_inverse=True
+            )
+            touch_order = np.argsort(first_index, kind="stable")
+            frames_touched = vm.bulk_map(uniq[touch_order].tolist())
+            frames = np.empty(len(uniq), dtype=np.int64)
+            frames[touch_order] = frames_touched
+            lines = (frames[inverse] << PAGE_SHIFT) | (
+                vaddrs & line_offset_mask
+            )
+
+            # Exact-LRU warm kernel. Accesses are grouped per set with a
+            # stable sort; round r applies the r-th access of every set
+            # that has one — distinct sets, so each round is one fully
+            # parallel update of the (sets, ways) state matrix.
+            line_ids = lines >> offset_bits
+            set_idx = line_ids & index_mask
+            tags = line_ids >> index_bits
+            order = np.argsort(set_idx, kind="stable")
+            counts = np.bincount(set_idx, minlength=n_sets)
+            starts = np.cumsum(counts) - counts
+            max_rounds = int(counts.max())
+            r = 0
+            while r < max_rounds:
+                active = np.nonzero(counts > r)[0]
+                if len(active) <= _SCALAR_TAIL_SETS:
+                    # Tail: few sets left — replay each set's remaining
+                    # accesses with plain list ops (sets are mutually
+                    # independent, so per-set completion order doesn't
+                    # matter). A vector round's fixed dispatch cost
+                    # would dwarf the per-access work here.
+                    for s in active.tolist():
+                        lo = starts[s] + r
+                        pos = order[lo : starts[s] + counts[s]]
+                        row = tag_state[s].tolist()
+                        drow = dirty_state[s].tolist()
+                        for tag, write in zip(
+                            tags[pos].tolist(), writes[pos].tolist()
+                        ):
+                            try:
+                                w = row.index(tag)
+                            except ValueError:
+                                w = 0
+                                hit = False
+                            else:
+                                hit = True
+                            touched = drow[w]
+                            del row[w]
+                            del drow[w]
+                            row.append(tag)
+                            drow.append(
+                                (touched or write) if hit else write
+                            )
+                        tag_state[s] = row
+                        dirty_state[s] = drow
+                    break
+                pos = order[starts[active] + r]
+                tag = tags[pos]
+                write = writes[pos]
+                rows = tag_state[active]
+                match = rows == tag[:, None]
+                # Unified hit/miss transition: remove column p (the
+                # matched way on a hit; column 0 — empty way or LRU
+                # victim — on a miss, where argmax of the all-False
+                # match row is already 0), close the gap, insert at MRU.
+                p = match.argmax(axis=1)
+                ar = np.arange(len(active))
+                hit = rows[ar, p] == tag
+                gather = np.where(col < p[:, None], col, col + 1)
+                gather[:, ways - 1] = p
+                old_dirty = dirty_state[active]
+                touched_dirty = old_dirty[ar, p]
+                ar = ar[:, None]
+                new_rows = rows[ar, gather]
+                new_dirty = old_dirty[ar, gather]
+                new_rows[:, ways - 1] = tag
+                new_dirty[:, ways - 1] = np.where(
+                    hit, touched_dirty | write, write
+                )
+                tag_state[active] = new_rows
+                dirty_state[active] = new_dirty
+                r += 1
+
+        # Materialize back into the LLC's dict-of-sets layout, touching
+        # only the valid cells (boolean-mask indexing is row-major, so
+        # per set the columns come out left to right — the LRU-first key
+        # order snapshots depend on). tolist() yields plain Python
+        # ints/bools.
+        valid = tag_state >= 0
+        sets: list[dict] = [{} for _ in range(n_sets)]
+        for s, tag, dirty in zip(
+            np.nonzero(valid)[0].tolist(),
+            tag_state[valid].tolist(),
+            dirty_state[valid].tolist(),
+        ):
+            sets[s][tag] = [dirty, False]
+        llc._sets = sets
+        llc.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Timed phases
+    # ------------------------------------------------------------------
+    def run_warmup(
+        self, warmup_instructions: int, max_cycles: int | None
+    ) -> None:
+        """Min-wake window loop until every core clears warm-up."""
+        system = self.system
+        cores = system.cores
+        controllers = system.controllers
+        tickables = system._tickables
+        heap = system.events._heap
+        pop = heapq.heappop
+        limit = max_cycles if max_cycles is not None else float("inf")
+        while any(core.retired < warmup_instructions for core in cores):
+            t = heap[0][0] if heap else IDLE
+            for component in tickables:
+                wake = component.next_wake
+                if wake < t:
+                    t = wake
+            if t >= IDLE:
+                raise ReproError(system._deadlock_message())
+            if t > system.now:
+                system.now = t
+            now = system.now
+            while heap and heap[0][0] <= now:
+                when, _, fn = pop(heap)
+                fn(when)
+            for core in cores:
+                if core.next_wake <= now:
+                    core.next_wake = core.tick(now)
+            for controller in controllers:
+                if controller.next_wake <= now:
+                    controller.next_wake = controller.tick(now)
+            if now > limit:
+                raise ReproError("warm-up exceeded max_cycles")
+
+    def run_measured(self, max_cycles: int | None) -> None:
+        """Min-wake window loop until every core retires its quota."""
+        system = self.system
+        cores = system.cores
+        controllers = system.controllers
+        tickables = system._tickables
+        heap = system.events._heap
+        pop = heapq.heappop
+        limit = max_cycles if max_cycles is not None else float("inf")
+        while not all(core.done for core in cores):
+            t = heap[0][0] if heap else IDLE
+            for component in tickables:
+                wake = component.next_wake
+                if wake < t:
+                    t = wake
+            if t >= IDLE:
+                raise ReproError(system._deadlock_message())
+            if t > system.now:
+                system.now = t
+            now = system.now
+            while heap and heap[0][0] <= now:
+                when, _, fn = pop(heap)
+                fn(when)
+            for core in cores:
+                if core.next_wake <= now:
+                    core.next_wake = core.tick(now)
+            for controller in controllers:
+                if controller.next_wake <= now:
+                    controller.next_wake = controller.tick(now)
+            if now > limit:
+                raise ReproError("measurement exceeded max_cycles")

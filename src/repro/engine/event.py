@@ -1,0 +1,51 @@
+"""The reference per-event engine.
+
+These are the seed hot loops, moved verbatim out of
+``System._run_to_completion``: one :meth:`System._step` per iteration,
+with the phase predicate evaluated between steps. The event engine is
+the behavioural oracle every other engine is differentially tested
+against — keep it boring.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["EventEngine"]
+
+IDLE = 1 << 62
+
+
+class EventEngine:
+    """Drive a built :class:`~repro.sim.system.System`, one step at a time."""
+
+    name = "event"
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    def prewarm(self, accesses_per_core: int) -> None:
+        """Functional warm-up via the scalar record-at-a-time path."""
+        self.system._prewarm_scalar(accesses_per_core)
+
+    def run_warmup(
+        self, warmup_instructions: int, max_cycles: int | None
+    ) -> None:
+        """Step until every core has retired its warm-up quota."""
+        system = self.system
+        step = system._step
+        cores = system.cores
+        while any(core.retired < warmup_instructions for core in cores):
+            step()
+            if max_cycles is not None and system.now > max_cycles:
+                raise ReproError("warm-up exceeded max_cycles")
+
+    def run_measured(self, max_cycles: int | None) -> None:
+        """Step until every core has retired its measured quota."""
+        system = self.system
+        step = system._step
+        cores = system.cores
+        while not all(core.done for core in cores):
+            step()
+            if max_cycles is not None and system.now > max_cycles:
+                raise ReproError("measurement exceeded max_cycles")

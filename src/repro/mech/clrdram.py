@@ -266,3 +266,6 @@ class ClrDramPlugin(MechanismPlugin):
         return ClrInvariant(
             geometry, timing, threshold=config.clr_promote_threshold
         )
+
+    def timing_variants(self, config, timing, crow_timings) -> dict:
+        return {"act-coupled": fast_timings(timing)}

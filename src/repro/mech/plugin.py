@@ -103,6 +103,27 @@ class MechanismPlugin:
         return controller_config
 
     # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timing_variants(
+        self,
+        config: "SystemConfig",
+        timing: "TimingParameters",
+        crow_timings: "CrowTimings | None",
+    ) -> dict:
+        """Named activation-timing overrides this mechanism can issue.
+
+        Consumed by :func:`repro.engine.tables.compile_act_variants`:
+        the returned ``{name: ActTimings}`` mapping must cover every
+        timing override the mechanism puts on an ``ActivationPlan``, so
+        the compiled engine tables (and the differential tests built on
+        them) enumerate the full per-config timing universe. The
+        default — no overrides — matches mechanisms that only ever
+        issue base-timing activations.
+        """
+        return {}
+
+    # ------------------------------------------------------------------
     # Conformance
     # ------------------------------------------------------------------
     def assume_ideal_duplicates(self, config: "SystemConfig") -> bool:

@@ -81,8 +81,16 @@ def _jsonable(value):
 
 
 def config_digest(config: SystemConfig) -> str:
-    """Process-stable digest of a :class:`SystemConfig`."""
-    payload = {"version": CACHE_VERSION, "config": _jsonable(config)}
+    """Process-stable digest of a :class:`SystemConfig`.
+
+    The ``engine`` field is excluded: both engines produce byte-identical
+    results, so cached campaign entries, warm images and snapshots are
+    valid across engines (and configs predating the field keep their
+    digests).
+    """
+    projection = _jsonable(config)
+    projection.pop("engine", None)
+    payload = {"version": CACHE_VERSION, "config": projection}
     encoded = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(encoded.encode()).hexdigest()[:20]
 

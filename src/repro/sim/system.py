@@ -8,6 +8,7 @@ methodology), and assembles a :class:`~repro.sim.metrics.SimResult`.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import heapq
 from pathlib import Path
@@ -444,6 +445,10 @@ class System:
         # is replaced by an allocation-free scan over this tuple.
         self._tickables: tuple = (*self.cores, *self.controllers)
         self.now = 0
+        #: The simulation engine driving the phase loops. Built last: the
+        #: batch engine compiles timing tables from the final (mechanism-
+        #: adjusted) timing parameters.
+        self.engine = factory.build_engine(config, self)
 
     def check_report(self, finalize: bool = True):
         """Merged conformance report across channels (requires check=True).
@@ -514,7 +519,15 @@ class System:
         for the paper's 100M-instruction cache warm-up, which a Python
         cycle simulator cannot afford to execute in timed mode. The
         records consumed here simply become part of the (untimed) past.
+
+        Delegates to the configured engine: the batch engine replaces
+        the scalar record loop with a vectorized kernel leaving behind
+        byte-identical LLC/page-table/RNG state.
         """
+        self.engine.prewarm(accesses_per_core)
+
+    def _prewarm_scalar(self, accesses_per_core: int) -> None:
+        """The reference record-at-a-time warm loop (see :meth:`prewarm`)."""
         from itertools import chain, cycle, islice
 
         from repro.cpu.translation import ASID_SHIFT, PAGE_MASK, PAGE_SHIFT
@@ -684,14 +697,16 @@ class System:
         if checkpoint_path is not None:
             next_checkpoint = self.now + checkpoint_every
         if self._measure_start is None:
-            # Phase 1: warm-up.
-            while any(
-                core.retired < warmup_instructions for core in self.cores
-            ):
-                self._step()
-                if max_cycles is not None and self.now > max_cycles:
-                    raise ReproError("warm-up exceeded max_cycles")
-                if snapshotting:
+            if snapshotting:
+                # Phase 1, instrumented: the shared _step() loop for every
+                # engine, so checkpoint cadence (and therefore checkpoint
+                # contents) is engine-invariant by construction.
+                while any(
+                    core.retired < warmup_instructions for core in self.cores
+                ):
+                    self._step()
+                    if max_cycles is not None and self.now > max_cycles:
+                        raise ReproError("warm-up exceeded max_cycles")
                     if (checkpoint_path is not None
                             and self.now >= next_checkpoint):
                         self.save_snapshot(
@@ -704,6 +719,9 @@ class System:
                             snapshot_path, run_state=run_state
                         )
                         snapshot_at_cycle = None
+            else:
+                # Phase 1, bare: the engine's warm-up driver.
+                self.engine.run_warmup(warmup_instructions, max_cycles)
             self._begin_measurement(instructions)
         if snapshotting:
             # Phase 2, instrumented: checkpoint/snapshot between steps.
@@ -720,11 +738,8 @@ class System:
                     self.save_snapshot(snapshot_path, run_state=run_state)
                     snapshot_at_cycle = None
         else:
-            # Phase 2, bare: the seed measurement loop, untouched.
-            while not all(core.done for core in self.cores):
-                self._step()
-                if max_cycles is not None and self.now > max_cycles:
-                    raise ReproError("measurement exceeded max_cycles")
+            # Phase 2, bare: the engine's measurement driver.
+            self.engine.run_measured(max_cycles)
         result = self._collect(instructions)
         if checkpoint_path is not None:
             # The run completed: a leftover checkpoint would make a later
@@ -1016,7 +1031,10 @@ class System:
 
     @classmethod
     def _restore_with_run(
-        cls, path: "str | Path", config: SystemConfig | None = None
+        cls,
+        path: "str | Path",
+        config: SystemConfig | None = None,
+        engine: str | None = None,
     ) -> "tuple[System, dict | None]":
         from repro.sim.campaign import config_digest
         from repro.snapshot.container import read_snapshot
@@ -1029,6 +1047,13 @@ class System:
                 "load_warm_image)"
             )
         saved_config = payload["config"]
+        if engine is not None:
+            # Cross-engine restore: the engine is excluded from config
+            # digests, so a snapshot taken under either engine resumes
+            # under either. replace() only reads fields *not* being
+            # overridden off the old instance, so configs pickled before
+            # the engine field existed restore cleanly too.
+            saved_config = dataclasses.replace(saved_config, engine=engine)
         if config is not None:
             expected = config_digest(config)
             if expected != header["config_digest"]:
@@ -1051,7 +1076,10 @@ class System:
 
     @classmethod
     def restore(
-        cls, path: "str | Path", config: SystemConfig | None = None
+        cls,
+        path: "str | Path",
+        config: SystemConfig | None = None,
+        engine: str | None = None,
     ) -> "System":
         """Rebuild a system from a full snapshot.
 
@@ -1059,13 +1087,18 @@ class System:
         (geometry, retention profiling, boot-time remaps), then the saved
         state overwrites everything mutable. Passing ``config`` asserts
         the snapshot is compatible with it (:class:`ConfigError` if not).
+        ``engine`` overrides the saved config's engine choice — digests
+        are engine-invariant, so any snapshot restores under any engine.
         """
-        system, _ = cls._restore_with_run(path, config)
+        system, _ = cls._restore_with_run(path, config, engine=engine)
         return system
 
     @classmethod
     def resume(
-        cls, path: "str | Path", checkpoint_every: int | None = None
+        cls,
+        path: "str | Path",
+        checkpoint_every: int | None = None,
+        engine: str | None = None,
     ) -> SimResult:
         """Continue a checkpointed run to completion.
 
@@ -1073,9 +1106,10 @@ class System:
         :meth:`run` (it carries the loop parameters). Checkpointing
         continues into the same file — at the saved cadence, or at
         ``checkpoint_every`` if given — and the file is removed when the
-        run completes.
+        run completes. ``engine`` optionally switches the engine the
+        continuation runs on (the result is engine-invariant).
         """
-        system, run_state = cls._restore_with_run(path)
+        system, run_state = cls._restore_with_run(path, engine=engine)
         if run_state is None:
             raise SnapshotError(
                 f"{path}: snapshot carries no run state and cannot be "

@@ -61,9 +61,32 @@ class TraceStream:
 
     def take(self, n: int) -> list[TraceRecord]:
         """Up to ``n`` records as a list (bulk-path for prewarm)."""
-        batch = list(islice(self._it, n))
+        take = getattr(self._it, "take", None)
+        if take is not None:
+            batch = take(n)
+        else:
+            batch = list(islice(self._it, n))
         self.consumed += len(batch)
         return batch
+
+    @property
+    def supports_arrays(self) -> bool:
+        """True when the wrapped trace exposes array-chunk views."""
+        return hasattr(self._it, "take_arrays")
+
+    def take_arrays(self, n):
+        """The (vaddrs, writes) columns of the next ``n`` records.
+
+        Returns ``None`` when the wrapped iterator has no array view
+        (callers fall back to the record path). The consumed count stays
+        exact either way.
+        """
+        take_arrays = getattr(self._it, "take_arrays", None)
+        if take_arrays is None:
+            return None
+        vaddrs, writes = take_arrays(n)
+        self.consumed += len(vaddrs)
+        return vaddrs, writes
 
     # ------------------------------------------------------------------
     # Snapshot support
@@ -88,8 +111,13 @@ class TraceStream:
         self._it = workload(self.workload_name).trace(self.seed)
         consumed = state["consumed"]
         if consumed:
-            # Exhaust-into-a-zero-length deque: C-speed fast-forward.
-            deque(islice(self._it, consumed), maxlen=0)
+            skip = getattr(self._it, "skip", None)
+            if skip is not None:
+                # Chunk-level fast-forward: no record decode at all.
+                skip(consumed)
+            else:
+                # Exhaust-into-a-zero-length deque: C-speed fast-forward.
+                deque(islice(self._it, consumed), maxlen=0)
         self.consumed = consumed
 
     @classmethod

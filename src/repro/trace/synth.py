@@ -1,9 +1,13 @@
 """Parametric access-pattern generators.
 
-Each generator yields an infinite stream of
-:class:`~repro.cpu.core.TraceRecord` tuples. All randomness flows through a
-``numpy.random.Generator`` seeded by the caller, so every trace is
-reproducible.
+Each generator returns an infinite :class:`~repro.trace.chunks.ChunkTrace`
+of :class:`~repro.cpu.core.TraceRecord` tuples. All randomness flows
+through a ``numpy.random.Generator`` seeded by the caller, so every trace
+is reproducible. Internally the patterns are *chunk producers*: they draw
+and synthesize whole column arrays per chunk, which the batch simulation
+engine consumes directly (:meth:`ChunkTrace.take_arrays`) while record
+consumers decode lazily. The RNG draw sequence per chunk is part of each
+pattern's contract — it must not depend on how the trace is consumed.
 
 Pattern vocabulary (matched to the paper's workload discussion):
 
@@ -25,6 +29,7 @@ import numpy as np
 
 from repro.cpu.core import TraceRecord
 from repro.errors import ConfigError
+from repro.trace.chunks import Chunk, ChunkTrace, records_to_chunk
 
 __all__ = [
     "streaming_trace",
@@ -64,21 +69,29 @@ def streaming_trace(
 ) -> Iterator[TraceRecord]:
     """Sequential line-by-line sweep over the footprint, repeated forever."""
     _check(footprint_bytes, bubbles_mean, write_fraction)
+    return ChunkTrace(
+        _streaming_chunks(
+            footprint_bytes, bubbles_mean, write_fraction, base_vaddr, seed
+        )
+    )
+
+
+def _streaming_chunks(
+    footprint_bytes, bubbles_mean, write_fraction, base_vaddr, seed
+) -> Iterator[Chunk]:
     rng = np.random.default_rng(seed)
     lines = footprint_bytes // LINE
     position = 0
-    pc = 0x400000
+    pcs = np.full(_CHUNK, 0x400000, dtype=np.int64)
     while True:
-        # Chunk decode: one .tolist() per array instead of a numpy-scalar
-        # conversion per record; addresses are vectorized (RNG untouched).
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
-        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
         vaddrs = (
             base_vaddr
             + (np.arange(position, position + _CHUNK) % lines) * LINE
-        ).tolist()
+        )
         position += _CHUNK
-        yield from map(TraceRecord, bubbles, vaddrs, writes, (pc,) * _CHUNK)
+        yield bubbles, vaddrs, writes, pcs
 
 
 def random_trace(
@@ -90,16 +103,29 @@ def random_trace(
 ) -> Iterator[TraceRecord]:
     """Uniform random line accesses over the footprint."""
     _check(footprint_bytes, bubbles_mean, write_fraction)
+    return ChunkTrace(
+        _random_chunks(
+            footprint_bytes, bubbles_mean, write_fraction, base_vaddr, seed
+        )
+    )
+
+
+def _random_chunks(
+    footprint_bytes, bubbles_mean, write_fraction, base_vaddr, seed
+) -> Iterator[Chunk]:
     rng = np.random.default_rng(seed)
     lines = footprint_bytes // LINE
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
         targets = rng.integers(0, lines, size=_CHUNK)
-        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        writes = rng.random(_CHUNK) < write_fraction
         pcs = rng.integers(0, 64, size=_CHUNK)
-        vaddrs = (base_vaddr + targets * LINE).tolist()
-        pc_list = (0x500000 + pcs * 4).tolist()
-        yield from map(TraceRecord, bubbles, vaddrs, writes, pc_list)
+        yield (
+            bubbles,
+            base_vaddr + targets * LINE,
+            writes,
+            0x500000 + pcs * 4,
+        )
 
 
 def strided_trace(
@@ -114,19 +140,31 @@ def strided_trace(
     _check(footprint_bytes, bubbles_mean, write_fraction)
     if stride_bytes < LINE or stride_bytes % LINE:
         raise ConfigError("stride must be a multiple of the line size")
+    return ChunkTrace(
+        _strided_chunks(
+            footprint_bytes, stride_bytes, bubbles_mean, write_fraction,
+            base_vaddr, seed,
+        )
+    )
+
+
+def _strided_chunks(
+    footprint_bytes, stride_bytes, bubbles_mean, write_fraction, base_vaddr,
+    seed,
+) -> Iterator[Chunk]:
     rng = np.random.default_rng(seed)
     position = 0
-    pc = 0x600000
+    pcs = np.full(_CHUNK, 0x600000, dtype=np.int64)
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
-        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
         vaddrs = (
             base_vaddr
             + (np.arange(position, position + _CHUNK) * stride_bytes)
             % footprint_bytes
-        ).tolist()
+        )
         position += _CHUNK
-        yield from map(TraceRecord, bubbles, vaddrs, writes, (pc,) * _CHUNK)
+        yield bubbles, vaddrs, writes, pcs
 
 
 def hotset_trace(
@@ -148,36 +186,48 @@ def hotset_trace(
         raise ConfigError("hot_fraction must be a probability")
     if hot_bytes < LINE or hot_bytes > footprint_bytes:
         raise ConfigError("hot_bytes must be within the footprint")
+    return ChunkTrace(
+        _hotset_chunks(
+            footprint_bytes, hot_bytes, hot_fraction, bubbles_mean,
+            write_fraction, base_vaddr, seed,
+        )
+    )
+
+
+def _hotset_chunks(
+    footprint_bytes, hot_bytes, hot_fraction, bubbles_mean, write_fraction,
+    base_vaddr, seed,
+) -> Iterator[Chunk]:
     rng = np.random.default_rng(seed)
     hot_lines = hot_bytes // LINE
     all_lines = footprint_bytes // LINE
+    base = np.arange(_CHUNK)
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
-        hot = (rng.random(_CHUNK) < hot_fraction).tolist()
-        targets = rng.integers(0, 1 << 62, size=_CHUNK).tolist()
-        writes = (rng.random(_CHUNK) < write_fraction).tolist()
-        run = rng.integers(2, 8, size=_CHUNK).tolist()
-        i = 0
-        while i < _CHUNK:
-            if hot[i]:
-                start = targets[i] % hot_lines
-                for offset in range(run[i]):
-                    line = (start + offset) % hot_lines
-                    yield TraceRecord(
-                        bubbles[i],
-                        base_vaddr + line * LINE,
-                        writes[i],
-                        0x700000,
-                    )
-            else:
-                line = targets[i] % all_lines
-                yield TraceRecord(
-                    bubbles[i],
-                    base_vaddr + line * LINE,
-                    writes[i],
-                    0x700100,
-                )
-            i += 1
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
+        hot = rng.random(_CHUNK) < hot_fraction
+        targets = rng.integers(0, 1 << 62, size=_CHUNK)
+        writes = rng.random(_CHUNK) < write_fraction
+        run = rng.integers(2, 8, size=_CHUNK)
+        # One chunk draw expands to a variable-length record chunk: hot
+        # picks emit a spatial run of `run` consecutive hot lines, cold
+        # picks emit a single line anywhere in the footprint.
+        lengths = np.where(hot, run, 1)
+        rep = np.repeat(base, lengths)
+        offsets = np.arange(len(rep)) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        hot_rep = hot[rep]
+        lines = np.where(
+            hot_rep,
+            (targets % hot_lines)[rep] + offsets,
+            (targets % all_lines)[rep],
+        ) % np.where(hot_rep, hot_lines, all_lines)
+        yield (
+            bubbles[rep],
+            base_vaddr + lines * LINE,
+            writes[rep],
+            np.where(hot_rep, 0x700000, 0x700100),
+        )
 
 
 def multistream_trace(
@@ -203,21 +253,36 @@ def multistream_trace(
     _check(footprint_bytes, bubbles_mean, write_fraction)
     if streams < 1:
         raise ConfigError("streams must be >= 1")
-    rng = np.random.default_rng(seed)
     region_lines = footprint_bytes // LINE // streams
     if region_lines < 1:
         raise ConfigError("footprint too small for the stream count")
+    return ChunkTrace(
+        _multistream_chunks(
+            streams, bubbles_mean, write_fraction, restart_period,
+            base_vaddr, seed, region_lines,
+        )
+    )
+
+
+def _multistream_chunks(
+    streams, bubbles_mean, write_fraction, restart_period, base_vaddr, seed,
+    region_lines,
+) -> Iterator[Chunk]:
+    rng = np.random.default_rng(seed)
     positions = np.zeros(streams, dtype=np.int64)
     count = 0
     index = np.arange(_CHUNK)
     while True:
-        bubbles = _bubbles(rng, bubbles_mean, _CHUNK).tolist()
+        bubbles = _bubbles(rng, bubbles_mean, _CHUNK)
         picks = rng.integers(0, streams, size=_CHUNK)
-        writes = (rng.random(_CHUNK) < write_fraction).tolist()
+        writes = rng.random(_CHUNK) < write_fraction
         if restart_period:
-            # Rewinds interleave RNG draws with record emission, so this
-            # path stays scalar to preserve the exact draw order.
+            # Rewinds interleave RNG draws with record synthesis, so this
+            # path stays scalar to preserve the exact draw order; the
+            # per-chunk columns are packed from the scalar results.
             picks_list = picks.tolist()
+            vaddr_list = []
+            pc_list = []
             for i in range(_CHUNK):
                 stream = picks_list[i]
                 line = int(positions[stream]) % region_lines
@@ -225,10 +290,16 @@ def multistream_trace(
                 count += 1
                 if count % restart_period == 0:
                     positions[int(rng.integers(0, streams))] = 0
-                vaddr = base_vaddr + (stream * region_lines + line) * LINE
-                yield TraceRecord(
-                    bubbles[i], vaddr, writes[i], 0x800000 + stream * 4
+                vaddr_list.append(
+                    base_vaddr + (stream * region_lines + line) * LINE
                 )
+                pc_list.append(0x800000 + stream * 4)
+            yield (
+                bubbles,
+                np.asarray(vaddr_list, dtype=np.int64),
+                writes,
+                np.asarray(pc_list, dtype=np.int64),
+            )
             continue
         # Vectorized path: record i of stream s reads line
         # positions[s] + (occurrences of s earlier in the chunk), i.e. a
@@ -243,20 +314,60 @@ def multistream_trace(
         cumcount[order] = ranks
         lines = (positions[picks] + cumcount) % region_lines
         positions += np.bincount(picks, minlength=streams)
-        vaddrs = (
-            base_vaddr + (picks * region_lines + lines) * LINE
-        ).tolist()
-        pcs = (0x800000 + picks * 4).tolist()
-        yield from map(TraceRecord, bubbles, vaddrs, writes, pcs)
+        yield (
+            bubbles,
+            base_vaddr + (picks * region_lines + lines) * LINE,
+            writes,
+            0x800000 + picks * 4,
+        )
 
 
 def mixed_trace(
-    phases: list[tuple[Iterator[TraceRecord], int]],
+    phases: "list[tuple[Iterator[TraceRecord], int]]",
 ) -> Iterator[TraceRecord]:
     """Interleave generators in round-robin phases of the given lengths."""
     if not phases:
         raise ConfigError("mixed_trace needs at least one phase")
+    return ChunkTrace(_mixed_chunks(list(phases)))
+
+
+def _mixed_chunks(phases) -> Iterator[Chunk]:
+    # Phase segments accumulate until a full chunk is ready, keeping the
+    # per-chunk overhead bounded even for single-record phase lengths.
+    parts: list[Chunk] = []
+    size = 0
     while True:
-        for generator, length in phases:
-            for _ in range(length):
-                yield next(generator)
+        for source, length in phases:
+            if isinstance(source, ChunkTrace):
+                segment = source.take_columns(length)
+            else:
+                # Arbitrary record iterators still compose; they pay a
+                # per-record pack here, exactly like the old scalar path.
+                records = []
+                for _ in range(length):
+                    record = next(source, None)
+                    if record is None:
+                        break
+                    records.append(record)
+                segment = records_to_chunk(records)
+            got = len(segment[1])
+            if got:
+                parts.append(segment)
+                size += got
+            if got < length:
+                # A (finite) child ran dry: flush what exists and stop.
+                if parts:
+                    yield _concat(parts)
+                return
+            if size >= _CHUNK:
+                yield _concat(parts)
+                parts = []
+                size = 0
+
+
+def _concat(parts: "list[Chunk]") -> Chunk:
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(
+        np.concatenate([part[i] for part in parts]) for i in range(4)
+    )

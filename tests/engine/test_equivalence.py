@@ -1,0 +1,119 @@
+"""Cross-engine differential suite: batch must equal event, byte for byte.
+
+The batch engine's contract is *behavioural identity*: for every oracle
+mechanism in ``tests/data/expected_digests.json``, running the same
+(config, seed, workload) under ``engine='batch'`` must produce
+
+* the identical telemetry digest (and the committed oracle digest),
+* an identical :class:`~repro.sim.metrics.SimResult` tree, field for
+  field, and
+* a clean pass under the strict conformance checker.
+
+Engine choice is a wall-clock knob only, so it is also excluded from
+every caching digest — asserted at the bottom of this module.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.sim.campaign import config_digest, task_digest
+from repro.snapshot import warmup_digest
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+EXPECTED = json.loads((DATA / "expected_digests.json").read_text())
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+
+
+def run_once(mechanism, engine, **extra):
+    config = SystemConfig(
+        cores=1,
+        mechanism=mechanism,
+        seed=1,
+        telemetry=True,
+        engine=engine,
+        **extra,
+    )
+    return run_workload("libq", config, **RUN)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_batch_matches_oracle_and_event(self, case):
+        mechanism = case.removeprefix("libq-")
+        event = run_once(mechanism, "event")
+        batch = run_once(mechanism, "batch")
+        want = EXPECTED[case]
+        assert event.telemetry_digest() == want["digest"]
+        assert batch.telemetry_digest() == want["digest"]
+        assert batch.cycles == want["cycles"]
+        # The whole result tree, not just the digest: every stat, every
+        # energy component, every telemetry leaf.
+        assert dataclasses.asdict(batch) == dataclasses.asdict(event)
+
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_batch_passes_strict_conformance(self, case):
+        """The shadow checker watches the real command stream — a batch
+        run completing under strict mode means the engine issued a fully
+        JEDEC/CROW-conformant schedule, independent of the digest."""
+        mechanism = case.removeprefix("libq-")
+        result = run_once(mechanism, "batch", check=True, check_mode="strict")
+        assert result.telemetry_digest() == EXPECTED[case]["digest"]
+
+
+class TestMultiCoreEquivalence:
+    def test_four_core_mix_is_engine_invariant(self):
+        from repro.sim.sweep import run_mix
+
+        results = {}
+        for engine in ("event", "batch"):
+            config = SystemConfig(
+                cores=4,
+                mechanism="crow-cache",
+                seed=7,
+                telemetry=True,
+                engine=engine,
+            )
+            results[engine] = run_mix(
+                ["libq", "mcf", "stream-copy", "milc"],
+                config,
+                instructions=1_500,
+                warmup_instructions=300,
+            )
+        assert dataclasses.asdict(results["batch"]) == dataclasses.asdict(
+            results["event"]
+        )
+
+
+class TestEngineDigestExclusion:
+    def test_config_digest_ignores_engine(self):
+        assert config_digest(SystemConfig(engine="batch")) == config_digest(
+            SystemConfig(engine="event")
+        )
+
+    def test_warmup_digest_ignores_engine(self):
+        assert warmup_digest(SystemConfig(engine="batch")) == warmup_digest(
+            SystemConfig(engine="event")
+        )
+
+    def test_task_digest_ignores_engine(self):
+        kwargs = dict(
+            kind="workload",
+            names=("libq",),
+            instructions=1000,
+            warmup_instructions=100,
+            seed=1,
+        )
+        assert task_digest(
+            config=SystemConfig(engine="batch"), **kwargs
+        ) == task_digest(config=SystemConfig(engine="event"), **kwargs)
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="engine"):
+            SystemConfig(engine="warp")

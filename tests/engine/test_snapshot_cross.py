@@ -1,0 +1,93 @@
+"""Cross-engine snapshot interoperability.
+
+Snapshots carry no engine state (the engine is a pure driver over the
+system's component state, and the engine field is excluded from config
+digests), so a checkpoint taken under either engine must resume under
+either — and every combination must land on the uninterrupted run's
+exact telemetry digest.
+"""
+
+import pytest
+
+from repro import SystemConfig, run_workload
+from repro.sim.system import System
+from repro.snapshot import read_header
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+
+
+def config_for(engine, mechanism="crow-cache"):
+    return SystemConfig(
+        cores=1, mechanism=mechanism, seed=1, telemetry=True, engine=engine
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle_digest():
+    return run_workload("libq", config_for("event"), **RUN).telemetry_digest()
+
+
+class TestCrossEngineResume:
+    @pytest.mark.parametrize("save_engine,resume_engine", [
+        ("event", "batch"),
+        ("batch", "event"),
+        ("batch", "batch"),
+    ])
+    def test_checkpoint_resumes_across_engines(
+        self, tmp_path, oracle_digest, save_engine, resume_engine
+    ):
+        snap = tmp_path / f"{save_engine}-to-{resume_engine}.snap"
+        host = run_workload(
+            "libq", config_for(save_engine), **RUN,
+            snapshot_at_cycle=300, snapshot_path=snap,
+        )
+        # Snapshotting itself must not perturb the saving engine's run.
+        assert host.telemetry_digest() == oracle_digest
+        assert snap.is_file()
+
+        resumed = System.resume(snap, engine=resume_engine)
+        assert resumed.telemetry_digest() == oracle_digest
+
+    def test_restore_applies_engine_override(self, tmp_path, oracle_digest):
+        snap = tmp_path / "warm.snap"
+        run_workload(
+            "libq", config_for("event"), **RUN,
+            snapshot_at_cycle=40, snapshot_path=snap,
+        )
+        system = System.restore(snap, engine="batch")
+        assert system.config.engine == "batch"
+        assert type(system.engine).__name__ == "BatchEngine"
+        # Without the override the saved engine comes back.
+        system = System.restore(snap)
+        assert system.config.engine == "event"
+
+    def test_snapshot_digest_is_engine_invariant(self, tmp_path):
+        """Both engines write a checkpoint at the same cycle with the
+        same config digest in the header — the bytes that gate restore
+        compatibility cannot depend on the engine."""
+        headers = {}
+        for engine in ("event", "batch"):
+            snap = tmp_path / f"{engine}.snap"
+            run_workload(
+                "libq", config_for(engine), **RUN,
+                snapshot_at_cycle=300, snapshot_path=snap,
+            )
+            headers[engine] = read_header(snap)
+        assert (
+            headers["event"]["config_digest"]
+            == headers["batch"]["config_digest"]
+        )
+        assert headers["event"]["cycle"] == headers["batch"]["cycle"]
+
+    def test_warmup_phase_checkpoint_crosses_engines(
+        self, tmp_path, oracle_digest
+    ):
+        """Cycle 40 lands inside timed warm-up; the cross-engine resume
+        must replay warm-up completion plus measurement identically."""
+        snap = tmp_path / "early.snap"
+        run_workload(
+            "libq", config_for("event"), **RUN,
+            snapshot_at_cycle=40, snapshot_path=snap,
+        )
+        resumed = System.resume(snap, engine="batch")
+        assert resumed.telemetry_digest() == oracle_digest
