@@ -76,8 +76,16 @@ class DecoderAreaModel:
         regular = (
             self.baseline_rows_per_subarray if regular_rows is None else regular_rows
         )
-        if copy_rows < 0 or regular < 1:
-            raise ConfigError("invalid row counts")
+        if copy_rows < 0:
+            raise ConfigError(
+                f"copy_rows must be >= 0, got {copy_rows}"
+            )
+        if regular < 1:
+            raise ConfigError(
+                f"regular_rows must be >= 1, got {regular} "
+                "(a subarray with no regular rows has no capacity to "
+                "reserve copy rows from)"
+            )
         return copy_rows / (regular + copy_rows)
 
     def tldram_chip_overhead(self, near_rows: int) -> float:
@@ -94,9 +102,14 @@ class DecoderAreaModel:
         sense-amplifier stripe sets, which dominate the cost.
         """
         if subarrays_per_bank < 1:
-            raise ConfigError("subarrays_per_bank must be >= 1")
+            raise ConfigError(
+                f"subarrays_per_bank must be >= 1, got {subarrays_per_bank}"
+            )
         if not _is_power_of_two(subarrays_per_bank):
-            raise ConfigError("subarrays_per_bank must be a power of two")
+            raise ConfigError(
+                f"subarrays_per_bank must be a power of two, got "
+                f"{subarrays_per_bank} (subarray-select decode is binary)"
+            )
         baseline = 128
         if subarrays_per_bank <= baseline:
             return self.salp_logic_overhead

@@ -1,6 +1,19 @@
 """DRAMPower-style LPDDR4 energy estimation."""
 
 from repro.energy.idd import IddCurrents
-from repro.energy.model import ChannelActivity, EnergyBreakdown, EnergyModel
+from repro.energy.model import (
+    ChannelActivity,
+    EnergyBreakdown,
+    EnergyCoefficients,
+    EnergyModel,
+    breakdown_from_coefficients,
+)
 
-__all__ = ["IddCurrents", "ChannelActivity", "EnergyBreakdown", "EnergyModel"]
+__all__ = [
+    "IddCurrents",
+    "ChannelActivity",
+    "EnergyBreakdown",
+    "EnergyCoefficients",
+    "EnergyModel",
+    "breakdown_from_coefficients",
+]

@@ -12,7 +12,8 @@ open-page configurations save latency but burn static energy
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, fields
 
 from repro.circuit.power import activation_power_overhead
 from repro.dram.commands import CommandKind
@@ -21,7 +22,13 @@ from repro.dram.timing import TimingParameters
 from repro.energy.idd import IddCurrents
 from repro.errors import ConfigError
 
-__all__ = ["ChannelActivity", "EnergyBreakdown", "EnergyModel"]
+__all__ = [
+    "ChannelActivity",
+    "EnergyBreakdown",
+    "EnergyCoefficients",
+    "EnergyModel",
+    "breakdown_from_coefficients",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +83,17 @@ class EnergyBreakdown:
     refresh_nj: float
     background_nj: float
 
+    def __post_init__(self) -> None:
+        # Same policy as analysis.ascii_bars: a NaN/inf joule count is a
+        # modelling bug, and letting it propagate through `+` and ratio
+        # math silently poisons every downstream figure.
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not math.isfinite(value):
+                raise ConfigError(
+                    f"non-finite energy for {field.name!r}: {value!r}"
+                )
+
     @property
     def total_nj(self) -> float:
         """Sum of all energy components."""
@@ -95,6 +113,104 @@ class EnergyBreakdown:
             self.refresh_nj + other.refresh_nj,
             self.background_nj + other.background_nj,
         )
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Everything per-config the energy accounting needs, factored out.
+
+    A channel's energy is (coefficients × activity counts): the
+    coefficients depend only on the configuration (timing, IDD set,
+    MRA overhead), the counts only on the run. The split is what lets
+    the :mod:`repro.estimate` record cache pay for a config once per
+    campaign instead of once per task, and lets alternative backends
+    (CACTI-like analytical models) supply a drop-in coefficient set.
+    """
+
+    cycle_ns: float
+    act_nj: float
+    rd_nj: float
+    wr_nj: float
+    ref_nj: float
+    #: Energy multiplier for each ``ACT-t``/``ACT-c`` (>= 1.0).
+    mra_overhead: float
+    #: Precharge-standby background current (mA).
+    idd2n_ma: float
+    #: Extra standby current per first-open row buffer (mA).
+    open_buffer_ma: float
+    #: Latch-power fraction charged per additional open local buffer.
+    extra_buffer_fraction: float
+    vdd_volts: float
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not math.isfinite(value):
+                raise ConfigError(
+                    f"non-finite energy coefficient "
+                    f"{field.name!r}: {value!r}"
+                )
+
+    def as_mapping(self) -> dict[str, float]:
+        """Flat ``{name: value}`` projection (estimation payloads)."""
+        return {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping) -> "EnergyCoefficients":
+        """Inverse of :meth:`as_mapping`; unknown/missing keys fail."""
+        expected = {field.name for field in fields(cls)}
+        got = set(mapping)
+        if got != expected:
+            raise ConfigError(
+                f"coefficient set mismatch: missing "
+                f"{sorted(expected - got)}, unexpected {sorted(got - expected)}"
+            )
+        return cls(**{name: float(mapping[name]) for name in expected})
+
+
+def breakdown_from_coefficients(
+    coefficients: EnergyCoefficients, activity: ChannelActivity
+) -> EnergyBreakdown:
+    """Total energy of one channel over the measured interval.
+
+    This is *the* energy aggregation — :meth:`EnergyModel.breakdown`
+    delegates here, so a cached or backend-supplied coefficient set
+    reproduces the in-process result bit for bit (same operations in
+    the same order; IEEE-754 arithmetic is deterministic).
+    """
+    c = coefficients
+    mra_acts = activity.n_act_t + activity.n_act_c
+    activation = (
+        activity.n_act + mra_acts * c.mra_overhead
+    ) * c.act_nj
+    read = activity.n_rd * c.rd_nj
+    write = activity.n_wr * c.wr_nj
+    refresh = activity.n_ref * c.ref_nj
+    # First open buffer per bank costs the full IDD3N increment (bank
+    # circuitry); each *additional* concurrently-open local row buffer
+    # (SALP) adds only latch power, modelled as a fraction of it.
+    extra_buffer_cycles = max(
+        0, activity.open_buffer_cycles - activity.bank_active_cycles
+    )
+    buffer_ma_cycles = (
+        c.open_buffer_ma * activity.bank_active_cycles
+        + c.open_buffer_ma
+        * c.extra_buffer_fraction
+        * extra_buffer_cycles
+    )
+    background = (
+        c.idd2n_ma * 1e-3 * activity.total_cycles * c.cycle_ns * c.vdd_volts
+        + buffer_ma_cycles * 1e-3 * c.cycle_ns * c.vdd_volts
+    )
+    return EnergyBreakdown(
+        activation_nj=activation,
+        read_nj=read,
+        write_nj=write,
+        refresh_nj=refresh,
+        background_nj=background,
+    )
 
 
 class EnergyModel:
@@ -157,37 +273,27 @@ class EnergyModel:
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
+    def coefficients(self) -> EnergyCoefficients:
+        """This model's per-config coefficient set.
+
+        The values are the exact floats :meth:`breakdown` historically
+        used, so cached/estimated coefficients reproduce its output bit
+        for bit.
+        """
+        i = self.currents
+        return EnergyCoefficients(
+            cycle_ns=self._cycle_ns(),
+            act_nj=self.act_energy_nj,
+            rd_nj=self.rd_energy_nj,
+            wr_nj=self.wr_energy_nj,
+            ref_nj=self.ref_energy_nj,
+            mra_overhead=self.mra_overhead,
+            idd2n_ma=i.idd2n,
+            open_buffer_ma=i.open_buffer_overhead_ma,
+            extra_buffer_fraction=self.EXTRA_BUFFER_FRACTION,
+            vdd_volts=i.vdd_volts,
+        )
+
     def breakdown(self, activity: ChannelActivity) -> EnergyBreakdown:
         """Total energy of one channel over the measured interval."""
-        i = self.currents
-        cycle_ns = self._cycle_ns()
-        mra_acts = activity.n_act_t + activity.n_act_c
-        activation = (
-            activity.n_act + mra_acts * self.mra_overhead
-        ) * self.act_energy_nj
-        read = activity.n_rd * self.rd_energy_nj
-        write = activity.n_wr * self.wr_energy_nj
-        refresh = activity.n_ref * self.ref_energy_nj
-        # First open buffer per bank costs the full IDD3N increment (bank
-        # circuitry); each *additional* concurrently-open local row buffer
-        # (SALP) adds only latch power, modelled as a fraction of it.
-        extra_buffer_cycles = max(
-            0, activity.open_buffer_cycles - activity.bank_active_cycles
-        )
-        buffer_ma_cycles = (
-            i.open_buffer_overhead_ma * activity.bank_active_cycles
-            + i.open_buffer_overhead_ma
-            * self.EXTRA_BUFFER_FRACTION
-            * extra_buffer_cycles
-        )
-        background = (
-            i.idd2n * 1e-3 * activity.total_cycles * cycle_ns * i.vdd_volts
-            + buffer_ma_cycles * 1e-3 * cycle_ns * i.vdd_volts
-        )
-        return EnergyBreakdown(
-            activation_nj=activation,
-            read_nj=read,
-            write_nj=write,
-            refresh_nj=refresh,
-            background_nj=background,
-        )
+        return breakdown_from_coefficients(self.coefficients(), activity)

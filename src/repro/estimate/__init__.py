@@ -1,0 +1,43 @@
+"""Pluggable energy/area estimation with accuracy arbitration.
+
+The Accelergy architecture on the :mod:`repro.mech` registry skeleton:
+estimator *backends* register under stable names, self-assess a 0–100
+accuracy per query, and an *arbiter* sends each query to every capable
+backend and keeps the most accurate answer. The two reference backends
+are byte-identical ports of the paper-calibrated models
+(:mod:`repro.energy`, :mod:`repro.circuit`); analytical and exotic
+backends give arbitration real choices. A persistent content-addressed
+record cache in front makes campaign-scale estimation O(distinct
+configs).
+
+Entry points: :func:`repro.estimate.runtime.default_arbiter` (shared
+instance), ``python -m repro estimate`` (CLI), and the convenience
+helpers in :mod:`repro.estimate.runtime`.
+"""
+
+from repro.estimate.arbiter import EstimatorArbiter
+from repro.estimate.plugin import EstimatorPlugin
+from repro.estimate.query import (
+    AccuracyEstimation,
+    EstimateQuery,
+    Estimation,
+)
+from repro.estimate.records import RECORD_VERSION, RecordCache
+from repro.estimate.registry import (
+    estimator_names,
+    get_estimator,
+    register_estimator,
+)
+
+__all__ = [
+    "AccuracyEstimation",
+    "EstimateQuery",
+    "Estimation",
+    "EstimatorArbiter",
+    "EstimatorPlugin",
+    "RecordCache",
+    "RECORD_VERSION",
+    "estimator_names",
+    "get_estimator",
+    "register_estimator",
+]

@@ -1,0 +1,136 @@
+"""Accuracy-ranked arbitration over every registered backend.
+
+The arbiter is the framework's front door: callers hand it a query, it
+asks every backend for a self-assessed accuracy, and the most accurate
+supported backend answers. Ties break by registration order (reference
+backends register first, so the paper-reproduction models win ties by
+construction). When a record cache is attached, the answer is looked up
+before any backend runs and published after — campaign-scale estimation
+becomes O(distinct configs), not O(tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional
+
+from repro.errors import EstimateError
+from repro.estimate.plugin import EstimatorPlugin
+from repro.estimate.query import (
+    AccuracyEstimation,
+    EstimateQuery,
+    Estimation,
+)
+from repro.estimate.records import RecordCache
+from repro.estimate.registry import estimator_names, get_estimator
+
+__all__ = ["EstimatorArbiter"]
+
+
+class EstimatorArbiter:
+    """Select-by-accuracy dispatch over estimator backends.
+
+    ``names`` restricts arbitration to a subset of registered backends
+    (default: all, in registration order). ``cache`` is an optional
+    :class:`RecordCache` consulted before and populated after every
+    backend call.
+
+    Counters: ``backend_calls`` counts queries actually answered by a
+    backend, ``served_from_cache`` those satisfied by a record — the
+    pair is what the O(distinct configs) campaign test asserts on.
+    """
+
+    def __init__(
+        self,
+        names: "Optional[Iterable[str]]" = None,
+        cache: "Optional[RecordCache]" = None,
+    ) -> None:
+        self.names = tuple(names) if names is not None else None
+        self.cache = cache
+        self.backend_calls = 0
+        self.served_from_cache = 0
+
+    def _candidates(self) -> "tuple[str, ...]":
+        if self.names is not None:
+            # Validate eagerly so a typo fails as ConfigError, not as a
+            # mysterious "no backend supports" arbitration miss.
+            for name in self.names:
+                get_estimator(name)
+            return self.names
+        return estimator_names()
+
+    # ----------------------------------------------------------------
+    # Arbitration
+    # ----------------------------------------------------------------
+    def rankings(
+        self, query: EstimateQuery
+    ) -> "list[tuple[EstimatorPlugin, AccuracyEstimation]]":
+        """Every candidate backend with its accuracy, best first.
+
+        The sort is stable, so equal accuracies keep registration
+        order — the deterministic tie-break the reference backends
+        rely on.
+        """
+        plugins = [get_estimator(name) for name in self._candidates()]
+        ranked = [(plugin, plugin.accuracy(query)) for plugin in plugins]
+        ranked.sort(key=lambda pair: -pair[1].percent)
+        return ranked
+
+    def select(
+        self, query: EstimateQuery
+    ) -> "tuple[EstimatorPlugin, AccuracyEstimation]":
+        """The winning backend, or a structured refusal.
+
+        Raises :class:`EstimateError` carrying every backend's refusal
+        reason when no candidate supports the query — never a silent
+        zero.
+        """
+        ranked = self.rankings(query)
+        if ranked and ranked[0][1].supported:
+            return ranked[0]
+        reasons = tuple(
+            f"{plugin.name}: {accuracy.reason or 'unsupported'}"
+            for plugin, accuracy in ranked
+        )
+        raise EstimateError(
+            f"no registered estimator supports {query.label} "
+            f"(asked {len(ranked)}: {'; '.join(reasons) or 'none'})",
+            query=query,
+            reasons=reasons,
+        )
+
+    def explain(self, query: EstimateQuery) -> "list[dict]":
+        """Arbitration table for one query (CLI / telemetry food)."""
+        ranked = self.rankings(query)
+        winner = next(
+            (p for p, a in ranked if a.supported), None
+        )
+        return [
+            {
+                "backend": plugin.name,
+                "accuracy_percent": accuracy.percent,
+                "reason": accuracy.reason,
+                "selected": plugin is winner,
+            }
+            for plugin, accuracy in ranked
+        ]
+
+    # ----------------------------------------------------------------
+    # Estimation
+    # ----------------------------------------------------------------
+    def estimate(self, query: EstimateQuery) -> Estimation:
+        """Cache-checked, accuracy-arbitrated answer to ``query``."""
+        if self.cache is not None:
+            cached = self.cache.load(query)
+            if cached is not None:
+                self.served_from_cache += 1
+                return cached
+        plugin, accuracy = self.select(query)
+        estimation = plugin.estimate(query)
+        # The registry name is authoritative — a backend cannot
+        # masquerade as another, and cached records stay attributable.
+        estimation = replace(estimation, backend=plugin.name)
+        self.backend_calls += 1
+        if self.cache is not None:
+            self.cache.store(query, estimation)
+        return estimation

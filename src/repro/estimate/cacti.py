@@ -1,0 +1,211 @@
+"""CACTI-like first-principles analytical backend.
+
+Where the reference backends replay datasheet/layout anchor points,
+this backend derives energy and area from the electrical constants in
+:class:`repro.circuit.constants.TechnologyParameters` — switched
+capacitance for dynamic energy, feature-size scaling for area — the way
+CACTI models a memory it has never seen a datasheet for. It answers the
+*same* queries as the reference backends with the *same* coefficient
+schema, at a lower self-assessed accuracy (the classic CACTI ~70%), so
+arbitration has a genuine second opinion to rank: reference backends
+win when present, and this backend takes over for technology nodes the
+datasheet models know nothing about.
+
+All arithmetic is a pure function of the query, so records cached from
+this backend are as deterministic as the reference ones.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.constants import TechnologyParameters
+from repro.dram.timing import TimingParameters
+from repro.estimate.plugin import EstimatorPlugin
+from repro.estimate.query import (
+    AccuracyEstimation,
+    EstimateQuery,
+    Estimation,
+)
+from repro.estimate.registry import register_estimator
+
+__all__ = ["CactiLikeEstimator", "CACTI_ACCURACY"]
+
+#: Self-assessed accuracy of the analytical model (the CACTI convention:
+#: good to tens of percent, not to datasheet precision).
+CACTI_ACCURACY = 70.0
+
+#: Reference feature size of the builtin TechnologyParameters (nm).
+BASE_NODE_NM = 22.0
+
+#: Bits restored per activation: one 8 KiB DRAM row.
+ROW_BITS = 8 * 1024 * 8
+
+#: Internal prefetch width feeding the IO burst, bits per burst cycle.
+IO_BITS_PER_CYCLE = 256
+
+#: IO + internal bus energy per transferred bit (nJ); writes drive the
+#: cell array on top of the bus.
+READ_NJ_PER_BIT = 1.1e-3
+WRITE_NJ_PER_BIT = 1.25e-3
+
+#: Wordline + decoder switching adder on top of bitline energy.
+WORDLINE_ADDER = 1.05
+
+#: Precharge-standby leakage current at the base node (mA).
+BASE_STANDBY_MA = 55.0
+
+#: Sense-amp latch standby adder per open row buffer, as a fraction of
+#: the standby current (cf. the measured IDD3N/IDD2N = 1.109 datum).
+OPEN_BUFFER_FRACTION = 0.11
+
+#: Latch-power fraction per additional concurrently-open local buffer
+#: (structural constant shared with the reference decomposition).
+EXTRA_BUFFER_FRACTION = 0.3
+
+#: Row-decoder area: wordline-driver footprint per row and predecode
+#: block, both quadratic in feature size (transistor-limited layout).
+DRIVER_UM2_PER_ROW_PER_NM2 = 0.00086
+PREDECODE_UM2_PER_NM2 = 0.018
+
+
+@register_estimator("cacti-analytical")
+class CactiLikeEstimator(EstimatorPlugin):
+    """Technology-node-scaled analytical energy/area model.
+
+    Supported queries:
+
+    * ``dram-channel`` / ``energy-coefficients`` — attributes:
+      ``timing`` (:class:`TimingParameters`, required), ``technology``
+      (:class:`TechnologyParameters`, default builtin 22 nm),
+      ``node_nm`` (float, default 22.0), ``row_bits`` (int, default one
+      8 KiB row), ``mra_power_overhead`` (honoured when given, else
+      derived from the cell/bitline capacitance ratio).
+    * ``row-decoder`` / ``area`` — attributes: ``rows`` (required),
+      ``node_nm``.
+    """
+
+    percent_accuracy = CACTI_ACCURACY
+
+    ACTIONS = {
+        "dram-channel": ("energy-coefficients",),
+        "row-decoder": ("area",),
+    }
+
+    def supported_components(self) -> tuple[str, ...]:
+        return tuple(self.ACTIONS)
+
+    def action_accuracy(self, query: EstimateQuery) -> AccuracyEstimation:
+        supported = self.ACTIONS[query.component]
+        if query.action not in supported:
+            return AccuracyEstimation(
+                0.0, f"action {query.action!r} not in {list(supported)}"
+            )
+        return AccuracyEstimation(
+            self.percent_accuracy,
+            "first-principles switched-capacitance model",
+        )
+
+    # ----------------------------------------------------------------
+    def _node_nm(self, query: EstimateQuery) -> float:
+        node = float(query.attributes.get("node_nm", BASE_NODE_NM))
+        if node <= 0.0:
+            self.reject(query, f"node_nm must be positive, got {node}")
+        return node
+
+    def _technology(self, query: EstimateQuery) -> TechnologyParameters:
+        technology = query.attributes.get("technology")
+        if technology is None:
+            return TechnologyParameters()
+        if not isinstance(technology, TechnologyParameters):
+            self.reject(
+                query,
+                f"attribute 'technology' must be TechnologyParameters, "
+                f"got {type(technology).__name__}",
+            )
+        return technology
+
+    def estimate(self, query: EstimateQuery) -> Estimation:
+        if not self.accuracy(query).supported:
+            self.reject(query, self.accuracy(query).reason)
+        if query.component == "row-decoder":
+            return self._decoder_area(query)
+        return self._energy_coefficients(query)
+
+    def _decoder_area(self, query: EstimateQuery) -> Estimation:
+        rows = self.require(query, "rows", int)
+        if rows < 1:
+            self.reject(query, f"rows must be >= 1, got {rows}")
+        node = self._node_nm(query)
+        area = (
+            PREDECODE_UM2_PER_NM2 * node * node
+            + DRIVER_UM2_PER_ROW_PER_NM2 * node * node * rows
+        )
+        return Estimation(
+            value=area,
+            unit="um^2",
+            accuracy_percent=self.percent_accuracy,
+            notes=(f"transistor-limited layout at {node:g} nm",),
+        )
+
+    def _energy_coefficients(self, query: EstimateQuery) -> Estimation:
+        timing = self.require(query, "timing", TimingParameters)
+        technology = self._technology(query)
+        node = self._node_nm(query)
+        row_bits = int(query.attributes.get("row_bits", ROW_BITS))
+        if row_bits < 1:
+            self.reject(query, f"row_bits must be >= 1, got {row_bits}")
+
+        # Linear-dimension scaling: capacitance and leakage track
+        # feature size to first order.
+        scale = node / BASE_NODE_NM
+        vdd = technology.vdd_volts
+        cell_ff = technology.cell_capacitance_ff * scale
+        bitline_ff = technology.bitline_capacitance_ff * scale
+        cycle_ns = 1000.0 / timing.clock_mhz
+
+        # One activation swings every bitline of the row (charge-share
+        # then full restore): E = 1/2 (Cb + Cc) Vdd^2 per bitline, plus
+        # the wordline/decoder adder. fF * V^2 = 1e-15 J = 1e-6 nJ.
+        act_nj = (
+            0.5 * (bitline_ff + cell_ff) * 1e-6 * vdd * vdd * row_bits
+        ) * WORDLINE_ADDER
+        burst_bits = timing.tbl * IO_BITS_PER_CYCLE
+        rd_nj = burst_bits * READ_NJ_PER_BIT * scale
+        wr_nj = burst_bits * WRITE_NJ_PER_BIT * scale
+        # A refresh burst is back-to-back row restores for tRFC.
+        ref_nj = act_nj * (timing.trfc / timing.trc)
+
+        mra = query.attributes.get("mra_power_overhead")
+        if mra is None:
+            # Second wordline + the extra cell capacitor on each
+            # bitline, relative to the full bitline swing.
+            mra_overhead = 1.0 + technology.capacitance_ratio * 0.25
+        else:
+            mra_overhead = 1.0 + float(mra)
+        if mra_overhead < 1.0:
+            self.reject(
+                query,
+                f"mra_power_overhead must be >= 0, got {mra!r}",
+            )
+
+        standby_ma = BASE_STANDBY_MA * scale
+        value = {
+            "cycle_ns": cycle_ns,
+            "act_nj": act_nj,
+            "rd_nj": rd_nj,
+            "wr_nj": wr_nj,
+            "ref_nj": ref_nj,
+            "mra_overhead": mra_overhead,
+            "idd2n_ma": standby_ma,
+            "open_buffer_ma": standby_ma * OPEN_BUFFER_FRACTION,
+            "extra_buffer_fraction": EXTRA_BUFFER_FRACTION,
+            "vdd_volts": vdd,
+        }
+        return Estimation(
+            value=value,
+            unit="energy-coefficient set (nJ, mA, ns)",
+            accuracy_percent=self.percent_accuracy,
+            notes=(
+                f"switched-capacitance model at {node:g} nm "
+                f"({row_bits} bits/row)",
+            ),
+        )

@@ -1,0 +1,139 @@
+"""Superloop-style per-technology exotic-memory backend.
+
+Models memory technologies outside the DRAM mainstream — the shape of
+the superloop plug-in exemplar, where each technology is its own small
+estimator class carrying its own accuracy grade. The backend serves the
+``memory-array`` component and dispatches on a ``technology`` query
+attribute; an unknown technology is an *arbitration miss* (accuracy 0
+naming the known technologies), never a guess.
+
+The numbers are representative published figures per technology, not
+calibrated reproductions — hence accuracy grades below every DRAM
+backend. The backend exists so arbitration has a genuinely different
+kind of answerer to rank, and so campaigns can price speculative
+substrate swaps without forking call sites.
+"""
+
+from __future__ import annotations
+
+from repro.estimate.plugin import EstimatorPlugin
+from repro.estimate.query import (
+    AccuracyEstimation,
+    EstimateQuery,
+    Estimation,
+)
+from repro.estimate.registry import register_estimator
+
+__all__ = ["ExoticMemoryEstimator", "TECHNOLOGIES"]
+
+
+class TechnologyModel:
+    """One exotic memory technology: per-bit energies and cell area."""
+
+    technology = ""
+    percent_accuracy = 0.0
+    read_nj_per_bit = 0.0
+    write_nj_per_bit = 0.0
+    cell_um2 = 0.0
+    leak_nw_per_bit = 0.0
+
+
+class VtCellRam(TechnologyModel):
+    """Josephson-junction VT-cell RAM (superconducting logic)."""
+
+    technology = "vt-cell-ram"
+    percent_accuracy = 60.0
+    read_nj_per_bit = 2.0e-9
+    write_nj_per_bit = 5.0e-9
+    cell_um2 = 12.0
+    leak_nw_per_bit = 0.0  # static power is the cryostat, not the cell
+
+
+class DelayLineMemory(TechnologyModel):
+    """Acoustic/electric delay-line storage (sequential access)."""
+
+    technology = "delay-line"
+    percent_accuracy = 55.0
+    read_nj_per_bit = 8.0e-4
+    write_nj_per_bit = 8.0e-4
+    cell_um2 = 0.9
+    leak_nw_per_bit = 4.0e-2  # the line must be continuously refreshed
+
+
+class CryoCmosSram(TechnologyModel):
+    """CMOS SRAM operated at 77 K (reduced leakage, faster sensing)."""
+
+    technology = "cryo-cmos-sram"
+    percent_accuracy = 65.0
+    read_nj_per_bit = 1.1e-4
+    write_nj_per_bit = 1.4e-4
+    cell_um2 = 0.055
+    leak_nw_per_bit = 1.0e-4
+
+
+#: Known technologies in declaration order (deterministic listings).
+TECHNOLOGIES: dict[str, TechnologyModel] = {
+    model.technology: model()
+    for model in (VtCellRam, DelayLineMemory, CryoCmosSram)
+}
+
+
+@register_estimator("exotic-memory")
+class ExoticMemoryEstimator(EstimatorPlugin):
+    """Per-technology estimator for non-DRAM memory arrays.
+
+    Supports ``memory-array`` with actions ``read-energy``,
+    ``write-energy``, ``area`` and ``leakage``; required attributes:
+    ``technology`` (one of :data:`TECHNOLOGIES`), ``bits`` (array size).
+    Accuracy is graded per technology class, superloop-style.
+    """
+
+    ACTIONS = ("read-energy", "write-energy", "area", "leakage")
+
+    def supported_components(self) -> tuple[str, ...]:
+        return ("memory-array",)
+
+    def _technology(self, query: EstimateQuery) -> "TechnologyModel | None":
+        name = query.attributes.get("technology")
+        return TECHNOLOGIES.get(name) if isinstance(name, str) else None
+
+    def action_accuracy(self, query: EstimateQuery) -> AccuracyEstimation:
+        if query.action not in self.ACTIONS:
+            return AccuracyEstimation(
+                0.0, f"action {query.action!r} not in {list(self.ACTIONS)}"
+            )
+        model = self._technology(query)
+        if model is None:
+            return AccuracyEstimation(
+                0.0,
+                f"unknown technology "
+                f"{query.attributes.get('technology')!r}; known: "
+                f"{', '.join(TECHNOLOGIES)}",
+            )
+        return AccuracyEstimation(
+            model.percent_accuracy,
+            f"published figures for {model.technology}",
+        )
+
+    def estimate(self, query: EstimateQuery) -> Estimation:
+        accuracy = self.accuracy(query)
+        if not accuracy.supported:
+            self.reject(query, accuracy.reason)
+        model = self._technology(query)
+        bits = self.require(query, "bits", int)
+        if bits < 1:
+            self.reject(query, f"bits must be >= 1, got {bits}")
+        if query.action == "read-energy":
+            value, unit = model.read_nj_per_bit * bits, "nJ per full sweep"
+        elif query.action == "write-energy":
+            value, unit = model.write_nj_per_bit * bits, "nJ per full sweep"
+        elif query.action == "area":
+            value, unit = model.cell_um2 * bits, "um^2"
+        else:
+            value, unit = model.leak_nw_per_bit * bits, "nW"
+        return Estimation(
+            value=value,
+            unit=unit,
+            accuracy_percent=model.percent_accuracy,
+            notes=(f"technology {model.technology}, {bits} bits",),
+        )

@@ -1,0 +1,112 @@
+"""Estimator backend interface.
+
+An estimator backend models the energy and/or area of some family of
+hardware components. Backends register with
+:func:`repro.estimate.registry.register_estimator` and are consulted by
+the :class:`repro.estimate.arbiter.EstimatorArbiter`, which sends every
+query to every registered backend and keeps the most accurate answer —
+the Accelergy arbitration model, on the same registry skeleton as
+:class:`repro.mech.MechanismPlugin`.
+
+Contract:
+
+* :meth:`supported_components` declares which query components the
+  backend understands at all.
+* :meth:`accuracy` self-assesses one query on a 0–100 percent scale;
+  0 means unsupported. The base class answers 0 for undeclared
+  components and delegates declared ones to :meth:`action_accuracy`.
+* :meth:`estimate` answers a query it previously claimed to support.
+  A backend must *never* return a silent zero for something it cannot
+  model — raise :class:`EstimateError` (see :meth:`reject`) instead.
+"""
+
+from __future__ import annotations
+
+from typing import NoReturn
+
+from repro.errors import EstimateError
+from repro.estimate.query import (
+    AccuracyEstimation,
+    EstimateQuery,
+    Estimation,
+)
+
+__all__ = ["EstimatorPlugin"]
+
+
+class EstimatorPlugin:
+    """Base class for estimator backends.
+
+    Subclasses set :attr:`percent_accuracy` (their default self-assessed
+    accuracy) and override :meth:`supported_components` and
+    :meth:`estimate`; :attr:`name` is assigned by the registry at
+    registration time.
+    """
+
+    #: Registry name; assigned by ``@register_estimator``.
+    name: str = ""
+
+    #: Default self-assessed accuracy for supported queries (0–100).
+    percent_accuracy: float = 0.0
+
+    # ----------------------------------------------------------------
+    # Hooks
+    # ----------------------------------------------------------------
+    def supported_components(self) -> "tuple[str, ...]":
+        """Query components this backend understands at all."""
+        raise NotImplementedError
+
+    def action_accuracy(self, query: EstimateQuery) -> AccuracyEstimation:
+        """Accuracy for a query whose component is supported.
+
+        Default: :attr:`percent_accuracy` for every action. Backends
+        that support only some actions (or grade accuracy per query)
+        override this.
+        """
+        return AccuracyEstimation(self.percent_accuracy)
+
+    def estimate(self, query: EstimateQuery) -> Estimation:
+        """Answer a supported query (raise EstimateError otherwise)."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------
+    # Framework plumbing (not meant to be overridden)
+    # ----------------------------------------------------------------
+    def accuracy(self, query: EstimateQuery) -> AccuracyEstimation:
+        """Self-assessed accuracy; 0 percent means unsupported."""
+        if query.component not in self.supported_components():
+            return AccuracyEstimation(
+                0.0,
+                f"component {query.component!r} not in "
+                f"{list(self.supported_components())}",
+            )
+        return self.action_accuracy(query)
+
+    def reject(self, query: EstimateQuery, reason: str) -> NoReturn:
+        """Refuse a query with a structured, attributable error."""
+        raise EstimateError(
+            f"backend {self.name or type(self).__name__!r} cannot "
+            f"estimate {query.label}: {reason}",
+            query=query,
+            reasons=(reason,),
+        )
+
+    def require(self, query: EstimateQuery, name: str, kind=None):
+        """Fetch a required query attribute, with type enforcement.
+
+        ``kind`` (a type or tuple of types) is checked when given;
+        missing or mistyped attributes raise :class:`EstimateError`
+        naming the attribute, so callers see *which* input was wrong
+        rather than a downstream TypeError.
+        """
+        if name not in query.attributes:
+            self.reject(query, f"missing required attribute {name!r}")
+        value = query.attributes[name]
+        if kind is not None and not isinstance(value, kind):
+            expected = getattr(kind, "__name__", str(kind))
+            self.reject(
+                query,
+                f"attribute {name!r} must be {expected}, got "
+                f"{type(value).__name__}",
+            )
+        return value

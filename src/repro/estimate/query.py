@@ -1,0 +1,188 @@
+"""Estimation queries and results.
+
+The estimator framework speaks three small value types:
+
+* :class:`EstimateQuery` — what the caller wants estimated: a hardware
+  *component* (``"dram-channel"``, ``"row-decoder"``, ...), an *action*
+  on it (``"energy-coefficients"``, ``"area"``, ...) and a mapping of
+  attributes (timing parameters, row counts, technology node).
+* :class:`AccuracyEstimation` — a backend's self-assessed accuracy for
+  one query, 0–100 percent. Zero means *unsupported* (the Accelergy
+  convention), so "cannot estimate" and "estimates badly" share one
+  scale and the arbiter needs no second channel.
+* :class:`Estimation` — the answer: a scalar or a named mapping of
+  scalars, with explicit unit, the winning backend's name and its
+  accuracy. Non-finite values are rejected at construction — an energy
+  of NaN joules must fail loudly, not propagate.
+
+Queries are content-addressed (:meth:`EstimateQuery.digest`) with the
+same projection the campaign cache uses, which is what makes the record
+cache cross-process deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+from repro.keying import jsonable, stable_digest
+
+__all__ = ["EstimateQuery", "AccuracyEstimation", "Estimation"]
+
+
+@dataclass(frozen=True)
+class EstimateQuery:
+    """One request to the estimator framework.
+
+    ``attributes`` is copied at construction; every value in it must
+    have a stable projection (dataclass, plain scalar/collection, or a
+    deterministic ``__repr__``) or :meth:`digest` raises
+    :class:`ConfigError`.
+    """
+
+    component: str
+    action: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.component or not isinstance(self.component, str):
+            raise ConfigError(
+                f"query component must be a non-empty string, got "
+                f"{self.component!r}"
+            )
+        if not self.action or not isinstance(self.action, str):
+            raise ConfigError(
+                f"query action must be a non-empty string, got "
+                f"{self.action!r}"
+            )
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``component/action`` handle for messages."""
+        return f"{self.component}/{self.action}"
+
+    def projection(self) -> dict:
+        """Identity-free JSON projection (record-cache key material)."""
+        return {
+            "component": self.component,
+            "action": self.action,
+            "attributes": jsonable(dict(self.attributes)),
+        }
+
+    def digest(self) -> str:
+        """Process-stable content digest of the query."""
+        return stable_digest(self.projection())
+
+
+@dataclass(frozen=True)
+class AccuracyEstimation:
+    """A backend's self-assessed accuracy for one query, in percent.
+
+    ``percent == 0`` means the backend cannot serve the query at all;
+    ``reason`` should then say why (it surfaces in ``EstimateError``
+    messages and ``explain`` output).
+    """
+
+    percent: float
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        value = float(self.percent)
+        if not math.isfinite(value) or not 0.0 <= value <= 100.0:
+            raise ConfigError(
+                f"accuracy percent must be a finite value in [0, 100], "
+                f"got {self.percent!r}"
+            )
+        object.__setattr__(self, "percent", value)
+
+    @property
+    def supported(self) -> bool:
+        return self.percent > 0.0
+
+
+@dataclass(frozen=True)
+class Estimation:
+    """A backend's answer to one query.
+
+    ``value`` is either a single float or a flat ``{name: float}``
+    mapping (e.g. a full energy-coefficient set). ``unit`` names the
+    physical unit of the value(s). ``backend`` is stamped by the
+    arbiter with the registry name of the backend that produced it.
+    """
+
+    value: "float | Mapping[str, float]"
+    unit: str
+    accuracy_percent: float
+    backend: str = ""
+    notes: tuple = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, Mapping):
+            cleaned: "float | dict[str, float]" = {}
+            for key, raw in self.value.items():
+                cleaned[str(key)] = _finite(raw, f"estimation[{key!r}]")
+        else:
+            cleaned = _finite(self.value, "estimation value")
+        object.__setattr__(self, "value", cleaned)
+        accuracy = AccuracyEstimation(self.accuracy_percent)
+        object.__setattr__(self, "accuracy_percent", accuracy.percent)
+        object.__setattr__(self, "notes", tuple(self.notes))
+
+    def scalar(self) -> float:
+        """The value as a single float (ConfigError if it is a set)."""
+        if isinstance(self.value, dict):
+            raise ConfigError(
+                f"estimation holds a coefficient set "
+                f"({sorted(self.value)}), not a scalar"
+            )
+        return self.value
+
+    def mapping(self) -> "dict[str, float]":
+        """The value as a named set (ConfigError if it is a scalar)."""
+        if not isinstance(self.value, dict):
+            raise ConfigError(
+                f"estimation holds a scalar ({self.value!r}), not a "
+                "coefficient set"
+            )
+        return dict(self.value)
+
+    def to_payload(self) -> dict:
+        """JSON-safe payload; floats round-trip bit-exactly via repr."""
+        return {
+            "value": dict(self.value)
+            if isinstance(self.value, dict)
+            else self.value,
+            "unit": self.unit,
+            "accuracy_percent": self.accuracy_percent,
+            "backend": self.backend,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Estimation":
+        """Rebuild from :meth:`to_payload` output (record-cache reads)."""
+        try:
+            return cls(
+                value=payload["value"],
+                unit=str(payload["unit"]),
+                accuracy_percent=payload["accuracy_percent"],
+                backend=str(payload.get("backend", "")),
+                notes=tuple(payload.get("notes", ())),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(
+                f"malformed estimation payload: {exc!r}"
+            ) from exc
+
+
+def _finite(raw, label: str) -> float:
+    try:
+        value = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{label} is not a number: {raw!r}") from exc
+    if not math.isfinite(value):
+        raise ConfigError(f"non-finite value for {label}: {raw!r}")
+    return value

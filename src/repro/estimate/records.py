@@ -1,0 +1,135 @@
+"""Persistent, content-addressed estimation record cache.
+
+Campaigns ask for the same per-config energy coefficients once per
+*task*; the record cache makes the framework pay for them once per
+*distinct config*. Each record is one JSON file named by the query's
+component/action slug plus its content digest, so the cache is
+cross-process deterministic: any worker that computes the record writes
+the same bytes under the same name.
+
+Write discipline matches the Campaign cache: records are written to a
+process-unique temp file and published with :func:`os.replace`, so
+readers never observe a torn record and concurrent writers last-write-win
+with identical content. Corrupt or version-mismatched records are
+unlinked and recomputed (counted in ``repairs``), never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.estimate.query import EstimateQuery, Estimation
+from repro.errors import ConfigError
+
+__all__ = ["RecordCache", "RECORD_VERSION"]
+
+#: Bump when a change invalidates previously-cached estimation records.
+RECORD_VERSION = 1
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def _slug(text: str) -> str:
+    return _SLUG_RE.sub("-", text.lower()).strip("-") or "query"
+
+
+class RecordCache:
+    """Directory of persisted :class:`Estimation` records.
+
+    Counters: ``hits`` / ``misses`` track lookups, ``stores`` successful
+    publishes, ``repairs`` corrupt records discarded. All are
+    process-local bookkeeping — the on-disk state carries no counters,
+    so cached bytes stay deterministic.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.repairs = 0
+
+    # ----------------------------------------------------------------
+    # Addressing
+    # ----------------------------------------------------------------
+    def path_for(self, query: EstimateQuery) -> Path:
+        """The record file this query addresses (may not exist yet)."""
+        slug = _slug(f"{query.component}-{query.action}")
+        return self.directory / f"{slug}-{query.digest()}.json"
+
+    # ----------------------------------------------------------------
+    # Lookup / publish
+    # ----------------------------------------------------------------
+    def load(self, query: EstimateQuery) -> "Estimation | None":
+        """The cached estimation for ``query``, or ``None`` on a miss.
+
+        A record that cannot be parsed, carries the wrong version, or
+        answers a *different* query (digest collision, hand-edited
+        file) is unlinked and reported as a miss — recomputing is
+        always safe, trusting a bad record never is.
+        """
+        path = self.path_for(query)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if payload["version"] != RECORD_VERSION:
+                raise ConfigError(
+                    f"record version {payload['version']!r} != "
+                    f"{RECORD_VERSION}"
+                )
+            if payload["query"] != query.projection():
+                raise ConfigError("record answers a different query")
+            estimation = Estimation.from_payload(payload["estimation"])
+        except (ConfigError, KeyError, TypeError, ValueError):
+            self.repairs += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return estimation
+
+    def store(self, query: EstimateQuery, estimation: Estimation) -> None:
+        """Atomically publish ``estimation`` as the record for ``query``."""
+        path = self.path_for(query)
+        payload = {
+            "version": RECORD_VERSION,
+            "query": query.projection(),
+            "estimation": estimation.to_payload(),
+        }
+        encoded = json.dumps(
+            payload, sort_keys=True, allow_nan=False, indent=1
+        )
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(encoded + "\n")
+            os.replace(tmp, path)
+            self.stores += 1
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ----------------------------------------------------------------
+    # Introspection
+    # ----------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters plus on-disk footprint, for the CLI and tests."""
+        records = sorted(self.directory.glob("*.json"))
+        return {
+            "directory": str(self.directory),
+            "entries": len(records),
+            "bytes": sum(record.stat().st_size for record in records),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "repairs": self.repairs,
+        }

@@ -1,0 +1,93 @@
+"""The estimator registry: name -> :class:`EstimatorPlugin`.
+
+Builtin backends self-register on first lookup (lazy import, so merely
+importing :mod:`repro.estimate` never drags in the backend
+implementations). Registration order is deliberate and stable: the two
+reference backends first — they must win arbitration ties against
+later-added analytical models, keeping the paper-reproduction outputs
+byte-identical — then the analytical and exotic backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigError
+from repro.estimate.plugin import EstimatorPlugin
+
+__all__ = ["register_estimator", "get_estimator", "estimator_names"]
+
+_REGISTRY: dict[str, EstimatorPlugin] = {}
+_builtins_loaded = False
+
+P = TypeVar("P", bound=type[EstimatorPlugin])
+
+
+def register_estimator(name: str) -> Callable[[P], P]:
+    """Class decorator registering an :class:`EstimatorPlugin` subclass.
+
+    ::
+
+        @register_estimator("cacti-analytical")
+        class CactiLikeEstimator(EstimatorPlugin):
+            def supported_components(self): ...
+
+    The decorated class is instantiated once; the instance must be
+    stateless (estimations are pure functions of the query). Registering
+    a name twice raises :class:`~repro.errors.ConfigError` — backends
+    are process-global, and a silent overwrite would let an import-order
+    accident change which model answers every energy query.
+    """
+    if not name:
+        raise ConfigError("estimator name must be non-empty")
+
+    def decorate(cls: P) -> P:
+        if name in _REGISTRY:
+            raise ConfigError(
+                f"estimator {name!r} is already registered "
+                f"(by {type(_REGISTRY[name]).__name__}); "
+                f"registered estimators: {', '.join(sorted(_REGISTRY))}"
+            )
+        plugin = cls()
+        plugin.name = name
+        _REGISTRY[name] = plugin
+        return cls
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    """Import the builtin backend modules exactly once."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    # Reference backends first: their registration order is the
+    # arbitration tie-break, and they must shadow same-accuracy
+    # analytical models so benchmark outputs stay byte-identical.
+    import repro.estimate.reference  # noqa: F401
+    import repro.estimate.cacti  # noqa: F401
+    import repro.estimate.exotic  # noqa: F401
+
+
+def get_estimator(name: str) -> EstimatorPlugin:
+    """The backend registered under ``name``.
+
+    Raises :class:`~repro.errors.ConfigError` listing every registered
+    backend when the name is unknown — the single validation point
+    behind the arbiter and the ``python -m repro estimate`` CLI.
+    """
+    _ensure_builtins()
+    plugin = _REGISTRY.get(name)
+    if plugin is None:
+        raise ConfigError(
+            f"unknown estimator {name!r}; registered estimators: "
+            f"{', '.join(estimator_names())}"
+        )
+    return plugin
+
+
+def estimator_names() -> tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)

@@ -1,0 +1,195 @@
+"""Process-level estimator wiring: default arbiter, memo, query builders.
+
+Everything in the package below this module is mechanism: backends,
+arbitration, records. This module is policy — the single arbiter
+instance the simulator, benchmarks and CLI share, the environment knob
+that attaches a persistent record cache
+(``REPRO_ESTIMATE_CACHE=<dir>``), and an in-process memo for the one
+query on the simulator's hot path (per-config channel-energy
+coefficients), which is what makes campaign estimation O(distinct
+configs) regardless of task count.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.dram.timing import TimingParameters
+from repro.energy.idd import IddCurrents
+from repro.energy.model import EnergyCoefficients
+from repro.estimate.arbiter import EstimatorArbiter
+from repro.estimate.query import EstimateQuery
+from repro.estimate.records import RecordCache
+
+__all__ = [
+    "ESTIMATE_CACHE_ENV",
+    "default_arbiter",
+    "set_default_arbiter",
+    "reset_default_arbiter",
+    "channel_energy_query",
+    "channel_coefficients",
+    "crow_overheads_query",
+    "crow_overheads",
+    "decoder_area_query",
+    "decoder_area_um2",
+    "activation_power_query",
+    "activation_power",
+    "estimate_stats",
+]
+
+#: Point this at a directory to persist estimation records across
+#: processes (campaign workers, repeated benchmark invocations).
+ESTIMATE_CACHE_ENV = "REPRO_ESTIMATE_CACHE"
+
+_default: "Optional[EstimatorArbiter]" = None
+
+#: Per-process memo of channel coefficient sets, keyed by query digest.
+#: Purely an allocation saver on the simulator hot path — the values
+#: are exactly what the arbiter would return.
+_coefficient_memo: "dict[str, EnergyCoefficients]" = {}
+
+
+def default_arbiter() -> EstimatorArbiter:
+    """The process-wide arbiter (built on first use).
+
+    Attaches a :class:`RecordCache` when ``REPRO_ESTIMATE_CACHE`` names
+    a directory; otherwise runs cache-less (backends are cheap enough
+    for interactive use, and tests stay filesystem-free by default).
+    """
+    global _default
+    if _default is None:
+        directory = os.environ.get(ESTIMATE_CACHE_ENV)
+        cache = RecordCache(directory) if directory else None
+        _default = EstimatorArbiter(cache=cache)
+    return _default
+
+
+def set_default_arbiter(arbiter: EstimatorArbiter) -> None:
+    """Replace the process-wide arbiter (tests, embedding tools)."""
+    global _default
+    _default = arbiter
+    _coefficient_memo.clear()
+
+
+def reset_default_arbiter() -> None:
+    """Drop the arbiter and memo; next use rebuilds from environment."""
+    global _default
+    _default = None
+    _coefficient_memo.clear()
+
+
+# --------------------------------------------------------------------
+# Query builders (one per call site family, so digests are uniform)
+# --------------------------------------------------------------------
+def channel_energy_query(
+    timing: TimingParameters,
+    currents: IddCurrents,
+    mra_power_overhead: "Optional[float]" = None,
+) -> EstimateQuery:
+    """The per-config DRAM channel energy-coefficient query."""
+    return EstimateQuery(
+        component="dram-channel",
+        action="energy-coefficients",
+        attributes={
+            "timing": timing,
+            "currents": currents,
+            "mra_power_overhead": mra_power_overhead,
+        },
+    )
+
+
+def crow_overheads_query(copy_rows: int) -> EstimateQuery:
+    """CROW substrate area/capacity overhead set."""
+    return EstimateQuery(
+        component="crow-substrate",
+        action="overheads",
+        attributes={"copy_rows": copy_rows},
+    )
+
+
+def decoder_area_query(rows: int) -> EstimateQuery:
+    """Row-decoder area for ``rows`` wordlines."""
+    return EstimateQuery(
+        component="row-decoder",
+        action="area",
+        attributes={"rows": rows},
+    )
+
+
+def activation_power_query(n_rows: int) -> EstimateQuery:
+    """Multiple-row-activation power multiplier."""
+    return EstimateQuery(
+        component="activation-power",
+        action="overhead",
+        attributes={"n_rows": n_rows},
+    )
+
+
+# --------------------------------------------------------------------
+# Arbitrated conveniences
+# --------------------------------------------------------------------
+def channel_coefficients(
+    timing: TimingParameters,
+    currents: IddCurrents,
+    mra_power_overhead: "Optional[float]" = None,
+    arbiter: "Optional[EstimatorArbiter]" = None,
+) -> EnergyCoefficients:
+    """Arbitrated per-config energy coefficients, memoized per process.
+
+    The memo only serves the default arbiter — an explicitly passed
+    arbiter always answers itself (tests rely on observing its
+    counters).
+    """
+    query = channel_energy_query(timing, currents, mra_power_overhead)
+    use_memo = arbiter is None
+    key = query.digest()
+    if use_memo:
+        memoized = _coefficient_memo.get(key)
+        if memoized is not None:
+            return memoized
+    chosen = arbiter if arbiter is not None else default_arbiter()
+    coefficients = EnergyCoefficients.from_mapping(
+        chosen.estimate(query).mapping()
+    )
+    if use_memo:
+        _coefficient_memo[key] = coefficients
+    return coefficients
+
+
+def crow_overheads(
+    copy_rows: int, arbiter: "Optional[EstimatorArbiter]" = None
+) -> "dict[str, float]":
+    """Arbitrated CROW substrate overhead set (Figure 7 right, Sec 6)."""
+    chosen = arbiter if arbiter is not None else default_arbiter()
+    return chosen.estimate(crow_overheads_query(copy_rows)).mapping()
+
+
+def decoder_area_um2(
+    rows: int, arbiter: "Optional[EstimatorArbiter]" = None
+) -> float:
+    """Arbitrated row-decoder area in µm²."""
+    chosen = arbiter if arbiter is not None else default_arbiter()
+    return chosen.estimate(decoder_area_query(rows)).scalar()
+
+
+def activation_power(
+    n_rows: int, arbiter: "Optional[EstimatorArbiter]" = None
+) -> float:
+    """Arbitrated MRA activation-power multiplier (Figure 7 left)."""
+    chosen = arbiter if arbiter is not None else default_arbiter()
+    return chosen.estimate(activation_power_query(n_rows)).scalar()
+
+
+def estimate_stats() -> dict:
+    """Counters of the default arbiter (CLI ``estimate cache``)."""
+    arbiter = default_arbiter()
+    stats = {
+        "backend_calls": arbiter.backend_calls,
+        "served_from_cache": arbiter.served_from_cache,
+        "memoized_coefficient_sets": len(_coefficient_memo),
+        "record_cache": None,
+    }
+    if arbiter.cache is not None:
+        stats["record_cache"] = arbiter.cache.stats()
+    return stats

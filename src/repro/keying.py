@@ -1,0 +1,64 @@
+"""Stable content-keying helpers shared by every cache layer.
+
+Result caches (:mod:`repro.sim.campaign`), the cluster store and the
+estimator record cache (:mod:`repro.estimate`) all key entries by a
+digest of a *value projection* of their inputs. The projection lives
+here, below all of them, so the layers cannot drift: a value that is
+safe to key in one cache is safe in every cache, and a value with no
+stable representation is rejected identically everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from repro.errors import ConfigError
+
+__all__ = ["jsonable", "stable_digest"]
+
+
+def jsonable(value):
+    """A stable, identity-free JSON projection of a config value.
+
+    Raises :class:`ConfigError` for values with no stable representation
+    (anything that would fall back to the default ``object.__repr__``,
+    whose embedded memory address differs between runs and would silently
+    poison the cache key).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if hasattr(value, "__dict__"):
+        projection = {
+            name: jsonable(attr)
+            for name, attr in sorted(vars(value).items())
+        }
+        projection["__class__"] = type(value).__qualname__
+        return projection
+    if type(value).__repr__ is object.__repr__:
+        raise ConfigError(
+            f"config value of type {type(value).__qualname__!r} has no "
+            "stable representation and cannot be cache-keyed; give it a "
+            "deterministic __repr__ or use a dataclass"
+        )
+    return repr(value)
+
+
+def stable_digest(payload, length: int = 24) -> str:
+    """SHA-256 digest of a JSON-safe payload, stable across processes.
+
+    ``payload`` must already be a JSON projection (see :func:`jsonable`);
+    keys are sorted so dict insertion order cannot leak into the digest.
+    """
+    encoded = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:length]

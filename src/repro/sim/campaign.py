@@ -18,7 +18,6 @@ same cache entries as a serial one.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -31,6 +30,11 @@ from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.sweep import run_mix, run_workload
 from repro.errors import ConfigError
+
+# The projection lives in :mod:`repro.keying` so the estimator record
+# cache keys values identically; the underscore alias is the historical
+# import point for tests and older callers.
+from repro.keying import jsonable as _jsonable
 
 __all__ = [
     "Campaign",
@@ -45,39 +49,6 @@ __all__ = [
 CACHE_VERSION = 2
 
 
-def _jsonable(value):
-    """A stable, identity-free JSON projection of a config value.
-
-    Raises :class:`ConfigError` for values with no stable representation
-    (anything that would fall back to the default ``object.__repr__``,
-    whose embedded memory address differs between runs and would silently
-    poison the cache key).
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _jsonable(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if hasattr(value, "__dict__"):
-        projection = {
-            name: _jsonable(attr)
-            for name, attr in sorted(vars(value).items())
-        }
-        projection["__class__"] = type(value).__qualname__
-        return projection
-    if type(value).__repr__ is object.__repr__:
-        raise ConfigError(
-            f"config value of type {type(value).__qualname__!r} has no "
-            "stable representation and cannot be cache-keyed; give it a "
-            "deterministic __repr__ or use a dataclass"
-        )
-    return repr(value)
 
 
 def config_digest(config: SystemConfig) -> str:

@@ -18,7 +18,13 @@ from repro.controller import ChannelController, FrFcfsCap, MemRequest, RequestTy
 from repro.cpu import Core, Llc, RptPrefetcher, VirtualMemory
 from repro.cpu.core import TraceRecord, _MemOp
 from repro.dram import AddressMapper, CellArray, DramChannel
-from repro.energy import ChannelActivity, EnergyModel, IddCurrents
+from repro.energy import (
+    ChannelActivity,
+    EnergyModel,
+    IddCurrents,
+    breakdown_from_coefficients,
+)
+from repro.estimate.runtime import channel_coefficients
 from repro.errors import ConfigError, ReproError, SnapshotError
 from repro.mech import get_plugin
 from repro.sim import factory
@@ -783,9 +789,16 @@ class System:
         end = max(core.finish_cycle or self.now for core in self.cores)
         cycles = end - start
         energy = None
+        # Per-config coefficients come from the estimator framework
+        # (reference backend by default — byte-identical to the old
+        # direct EnergyModel call); only the per-channel activity
+        # aggregation runs per task.
+        coefficients = channel_coefficients(
+            self.timing, self.energy_model.currents
+        )
         for channel in self.channels:
             activity = ChannelActivity.from_channel(channel, cycles, self.now)
-            breakdown = self.energy_model.breakdown(activity)
+            breakdown = breakdown_from_coefficients(coefficients, activity)
             energy = breakdown if energy is None else energy + breakdown
         mechanism_stats: dict[str, float] = {}
         for mechanism in self.mechanisms:

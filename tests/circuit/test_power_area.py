@@ -92,3 +92,47 @@ class TestBaselineAreas:
     def test_salp_requires_power_of_two(self, area):
         with pytest.raises(ConfigError):
             area.salp_chip_overhead(100)
+
+
+class TestStructuredGuardErrors:
+    """Guard failures name the offending field and value.
+
+    The estimator framework surfaces these messages verbatim inside
+    :class:`repro.errors.EstimateError` reasons, so they must identify
+    what was wrong without the caller re-deriving it.
+    """
+
+    @pytest.fixture
+    def area(self) -> DecoderAreaModel:
+        return DecoderAreaModel()
+
+    def test_negative_copy_rows_names_field_and_value(self, area):
+        with pytest.raises(
+            ConfigError, match=r"copy_rows must be >= 0, got -3"
+        ):
+            area.crow_capacity_overhead(-3)
+
+    def test_zero_regular_rows_explains_the_constraint(self, area):
+        with pytest.raises(
+            ConfigError, match=r"regular_rows must be >= 1, got 0"
+        ):
+            area.crow_capacity_overhead(8, regular_rows=0)
+
+    def test_zero_copy_rows_is_a_valid_degenerate_substrate(self, area):
+        assert area.crow_capacity_overhead(0) == 0.0
+
+    def test_non_power_of_two_salp_names_the_value(self, area):
+        with pytest.raises(
+            ConfigError, match=r"power of two, got 100"
+        ):
+            area.salp_chip_overhead(100)
+
+    def test_zero_subarrays_names_field_and_value(self, area):
+        with pytest.raises(
+            ConfigError, match=r"subarrays_per_bank must be >= 1, got 0"
+        ):
+            area.salp_chip_overhead(0)
+
+    def test_zero_decoder_rows_names_the_value(self, area):
+        with pytest.raises(ConfigError, match=r"rows must be >= 1, got 0"):
+            area.decoder_area_um2(0)

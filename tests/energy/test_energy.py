@@ -102,3 +102,43 @@ class TestEnergyModel:
         act = ChannelActivity.from_channel(channel, total_cycles=1000, now=500)
         assert act.n_act == 1
         assert act.open_buffer_cycles == 500
+
+
+class TestBreakdownFiniteness:
+    """NaN/inf joule counts die at construction, not in downstream math.
+
+    Same policy as ``analysis.ascii_bars``: both producing a breakdown
+    with a non-finite component and combining two breakdowns whose sum
+    overflows must raise, in both directions of the ``+``.
+    """
+
+    def test_construction_rejects_nan_naming_the_field(self):
+        from repro.energy import EnergyBreakdown
+
+        with pytest.raises(ConfigError, match="refresh_nj"):
+            EnergyBreakdown(0.0, 0.0, 0.0, float("nan"), 0.0)
+
+    def test_construction_rejects_inf_naming_the_field(self):
+        from repro.energy import EnergyBreakdown
+
+        with pytest.raises(ConfigError, match="activation_nj"):
+            EnergyBreakdown(float("inf"), 0.0, 0.0, 0.0, 0.0)
+
+    def test_addition_overflowing_to_inf_is_rejected_both_ways(self):
+        from repro.energy import EnergyBreakdown
+
+        huge = EnergyBreakdown(1e308, 0.0, 0.0, 0.0, 0.0)
+        small = EnergyBreakdown(1e308, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigError, match="activation_nj"):
+            huge + small
+        with pytest.raises(ConfigError, match="activation_nj"):
+            small + huge
+
+    def test_coefficient_set_rejects_non_finite_fields(self):
+        from dataclasses import replace
+
+        from repro.energy import EnergyModel
+
+        coefficients = EnergyModel(TIMING, IddCurrents.lpddr4()).coefficients()
+        with pytest.raises(ConfigError, match="act_nj"):
+            replace(coefficients, act_nj=float("nan"))

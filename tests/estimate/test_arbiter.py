@@ -1,0 +1,123 @@
+"""Arbitration: accuracy ranking, tie-breaks, structured refusals."""
+
+import pytest
+
+from repro.dram.timing import TimingParameters
+from repro.energy import IddCurrents
+from repro.errors import ConfigError, EstimateError
+from repro.estimate import EstimateQuery, EstimatorArbiter
+from repro.estimate.runtime import (
+    activation_power_query,
+    channel_energy_query,
+    decoder_area_query,
+)
+
+
+def _energy_query():
+    return channel_energy_query(
+        TimingParameters.lpddr4(8), IddCurrents.lpddr4(8)
+    )
+
+
+def test_most_accurate_backend_wins():
+    arbiter = EstimatorArbiter()
+    plugin, accuracy = arbiter.select(_energy_query())
+    assert plugin.name == "idd-reference"
+    assert accuracy.percent == 90.0
+
+
+def test_rankings_are_sorted_best_first_with_stable_ties():
+    arbiter = EstimatorArbiter()
+    ranked = arbiter.rankings(_energy_query())
+    percents = [accuracy.percent for _, accuracy in ranked]
+    assert percents == sorted(percents, reverse=True)
+    # Both zero-accuracy backends keep registration order (stable sort).
+    zeros = [p.name for p, a in ranked if a.percent == 0.0]
+    assert zeros == ["circuit-reference", "exotic-memory"]
+
+
+def test_decoder_area_tie_prefers_reference_backend():
+    # circuit-reference (95) beats cacti-analytical (70) outright; with
+    # a names subset reversing registration order the ranking is still
+    # by accuracy, not list position.
+    arbiter = EstimatorArbiter(
+        names=("cacti-analytical", "circuit-reference")
+    )
+    plugin, _ = arbiter.select(decoder_area_query(512))
+    assert plugin.name == "circuit-reference"
+
+
+def test_unsupported_query_raises_structured_error():
+    arbiter = EstimatorArbiter()
+    query = EstimateQuery("quantum-foam", "entropy", {})
+    with pytest.raises(EstimateError) as excinfo:
+        arbiter.estimate(query)
+    error = excinfo.value
+    assert error.query is query
+    assert len(error.reasons) == 4
+    assert "no registered estimator supports quantum-foam/entropy" in str(
+        error
+    )
+
+
+def test_unknown_backend_name_is_config_error_not_arbitration_miss():
+    arbiter = EstimatorArbiter(names=("no-such-backend",))
+    with pytest.raises(ConfigError, match="unknown estimator"):
+        arbiter.estimate(decoder_area_query(8))
+
+
+def test_backend_stamp_is_authoritative():
+    arbiter = EstimatorArbiter()
+    estimation = arbiter.estimate(activation_power_query(2))
+    assert estimation.backend == "circuit-reference"
+    assert arbiter.backend_calls == 1
+
+
+def test_explain_marks_exactly_one_selected_row():
+    arbiter = EstimatorArbiter()
+    rows = arbiter.explain(_energy_query())
+    assert [row["backend"] for row in rows if row["selected"]] == [
+        "idd-reference"
+    ]
+    assert all(row["reason"] for row in rows if not row["selected"])
+
+
+def test_explain_with_no_capable_backend_selects_nothing():
+    arbiter = EstimatorArbiter()
+    rows = arbiter.explain(EstimateQuery("quantum-foam", "entropy", {}))
+    assert not any(row["selected"] for row in rows)
+
+
+def test_restricted_arbiter_exercises_the_analytical_backend():
+    reference = EstimatorArbiter().estimate(_energy_query())
+    analytical = EstimatorArbiter(names=("cacti-analytical",)).estimate(
+        _energy_query()
+    )
+    assert analytical.backend == "cacti-analytical"
+    assert analytical.accuracy_percent < reference.accuracy_percent
+    # Same schema, genuinely different numbers: arbitration matters.
+    assert set(analytical.mapping()) == set(reference.mapping())
+    assert (
+        analytical.mapping()["act_nj"] != reference.mapping()["act_nj"]
+    )
+
+
+def test_exotic_backend_answers_memory_array_queries():
+    arbiter = EstimatorArbiter()
+    query = EstimateQuery(
+        "memory-array", "read-energy",
+        {"technology": "cryo-cmos-sram", "bits": 1024},
+    )
+    estimation = arbiter.estimate(query)
+    assert estimation.backend == "exotic-memory"
+    assert estimation.scalar() > 0.0
+
+
+def test_exotic_backend_refuses_unknown_technology_with_known_list():
+    arbiter = EstimatorArbiter()
+    query = EstimateQuery(
+        "memory-array", "read-energy",
+        {"technology": "bubble-memory", "bits": 1024},
+    )
+    with pytest.raises(EstimateError, match="cryo-cmos-sram"):
+        arbiter.estimate(query)

@@ -1,0 +1,91 @@
+"""Campaign energy estimation is O(distinct configs), not O(tasks).
+
+Every simulated task needs the per-config energy-coefficient set, but
+the set only depends on the DRAM configuration — so a campaign over N
+tasks and K distinct configs must hit an estimator backend exactly K
+times, and a warm record cache must bring a *new process* to zero
+backend calls. These tests drive the real campaign machinery (serial
+in-process, so the default arbiter's counters are observable) and pin
+both bounds.
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.estimate import EstimatorArbiter, RecordCache
+from repro.estimate.runtime import (
+    reset_default_arbiter,
+    set_default_arbiter,
+)
+from repro.exec import ParallelCampaign, TaskSpec
+
+RUN = dict(instructions=2_000, warmup_instructions=500)
+
+WORKLOADS = ("libq", "h264-dec", "bzip2")
+DENSITIES = (8, 16)
+
+
+@pytest.fixture()
+def scoped_arbiter():
+    """Install a counter-observable default arbiter, restore after."""
+    installed = []
+
+    def install(arbiter):
+        set_default_arbiter(arbiter)
+        installed.append(arbiter)
+        return arbiter
+
+    try:
+        yield install
+    finally:
+        reset_default_arbiter()
+
+
+def _specs():
+    return [
+        TaskSpec.workload(
+            name, SystemConfig(density_gbit=density), **RUN
+        )
+        for density in DENSITIES
+        for name in WORKLOADS
+    ]
+
+
+def test_backend_calls_scale_with_distinct_configs(
+    tmp_path, scoped_arbiter
+):
+    arbiter = scoped_arbiter(
+        EstimatorArbiter(cache=RecordCache(tmp_path / "records"))
+    )
+    outcomes = ParallelCampaign(tmp_path / "campaign", jobs=1).run(_specs())
+    assert all(outcome.ok for outcome in outcomes)
+    assert len(outcomes) == len(WORKLOADS) * len(DENSITIES)
+    # Six tasks, two distinct DRAM configs: exactly two backend calls.
+    assert arbiter.backend_calls == len(DENSITIES)
+    assert arbiter.served_from_cache == 0
+
+
+def test_warm_record_cache_means_zero_backend_calls(
+    tmp_path, scoped_arbiter
+):
+    records = tmp_path / "records"
+    scoped_arbiter(EstimatorArbiter(cache=RecordCache(records)))
+    ParallelCampaign(tmp_path / "cold", jobs=1).run(_specs())
+
+    # A fresh arbiter over the same record directory models a new
+    # process: empty in-process memo, warm disk. The campaign directory
+    # differs so every task truly re-simulates.
+    warm = scoped_arbiter(EstimatorArbiter(cache=RecordCache(records)))
+    outcomes = ParallelCampaign(tmp_path / "warm", jobs=1).run(_specs())
+    assert all(outcome.ok for outcome in outcomes)
+    assert warm.backend_calls == 0
+    assert warm.served_from_cache == len(DENSITIES)
+
+
+def test_cacheless_default_still_memoizes_per_process(
+    tmp_path, scoped_arbiter
+):
+    arbiter = scoped_arbiter(EstimatorArbiter())
+    outcomes = ParallelCampaign(tmp_path / "campaign", jobs=1).run(_specs())
+    assert all(outcome.ok for outcome in outcomes)
+    assert arbiter.backend_calls == len(DENSITIES)

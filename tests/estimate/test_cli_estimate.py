@@ -1,0 +1,154 @@
+"""CLI surface of the estimator framework (``python -m repro estimate``)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.circuit.area import DecoderAreaModel
+from repro.estimate import EstimatorArbiter, RecordCache
+from repro.estimate.runtime import (
+    reset_default_arbiter,
+    set_default_arbiter,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_arbiter():
+    reset_default_arbiter()
+    yield
+    reset_default_arbiter()
+
+
+class TestParser:
+    def test_estimate_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate"])
+
+    def test_explain_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "explain", "warp-core"])
+
+
+class TestCommands:
+    def test_backends_listing(self, capsys, tmp_path):
+        report = tmp_path / "backends.json"
+        assert main(["estimate", "backends", "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        for name in ("idd-reference", "circuit-reference",
+                     "cacti-analytical", "exotic-memory"):
+            assert name in out
+        payload = json.loads(report.read_text())
+        assert [b["name"] for b in payload["backends"]][0] == (
+            "idd-reference"
+        )
+
+    def test_energy_defaults_to_reference_backend(self, capsys):
+        assert main(["estimate", "energy", "--density", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: idd-reference" in out
+        assert "act_nj" in out and "idd2n_ma" in out
+
+    def test_energy_backend_restriction(self, capsys):
+        assert main([
+            "estimate", "energy", "--density", "8",
+            "--backend", "cacti-analytical",
+        ]) == 0
+        assert "backend: cacti-analytical" in capsys.readouterr().out
+
+    def test_energy_reports_record_cache_transitions(self, capsys, tmp_path):
+        set_default_arbiter(
+            EstimatorArbiter(cache=RecordCache(tmp_path / "records"))
+        )
+        assert main(["estimate", "energy", "--density", "8"]) == 0
+        assert "record cache: miss (record stored)" in (
+            capsys.readouterr().out
+        )
+        # A "new process": fresh arbiter and memo over the warm directory.
+        set_default_arbiter(
+            EstimatorArbiter(cache=RecordCache(tmp_path / "records"))
+        )
+        assert main(["estimate", "energy", "--density", "8"]) == 0
+        assert "record cache: hit" in capsys.readouterr().out
+
+    def test_area_matches_direct_model(self, capsys):
+        assert main(["estimate", "area", "--copy-rows", "8"]) == 0
+        out = capsys.readouterr().out
+        model = DecoderAreaModel()
+        assert "backend: circuit-reference" in out
+        assert f"{model.crow_chip_overhead(8):.2%}" in out
+        assert f"{model.decoder_area_um2(8):.4f}" in out
+
+    def test_explain_marks_the_selected_backend(self, capsys):
+        assert main(["estimate", "explain", "channel-energy"]) == 0
+        out = capsys.readouterr().out
+        assert "<-- selected" in out
+        assert "idd-reference" in out and "cacti-analytical" in out
+
+    def test_cache_stats_detached_by_default(self, capsys):
+        assert main(["estimate", "cache"]) == 0
+        assert "detached (REPRO_ESTIMATE_CACHE unset)" in (
+            capsys.readouterr().out
+        )
+
+    def test_cache_stats_with_record_cache(self, capsys, tmp_path):
+        set_default_arbiter(
+            EstimatorArbiter(cache=RecordCache(tmp_path / "records"))
+        )
+        assert main(["estimate", "energy", "--density", "8"]) == 0
+        capsys.readouterr()
+        assert main(["estimate", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "record cache entries" in out
+        assert str(tmp_path / "records") in out
+
+
+class TestVerify:
+    def test_verify_matches_committed_expectations(self, capsys, tmp_path):
+        reports = tmp_path / "reports"
+        assert main([
+            "estimate", "verify", "--report-dir", str(reports),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all 3 configs match" in out
+        written = sorted(p.name for p in reports.iterdir())
+        assert written == [
+            "baseline-8g-copy8.json",
+            "clr-dram-32g-copy4.json",
+            "crow-cache-16g-copy8.json",
+        ]
+        report = json.loads((reports / "baseline-8g-copy8.json").read_text())
+        assert report["status"] == "ok"
+        assert report["energy"]["backend"] == "idd-reference"
+
+    def test_verify_fails_on_drifted_expectation(self, capsys, tmp_path):
+        expected = tmp_path / "expected.json"
+        expected.write_text(json.dumps({
+            "baseline-8g-copy8": {
+                "activation_power_2rows": 99.0,
+                "energy": {"backend": "idd-reference",
+                           "digest": "not-the-digest"},
+                "area": {"backend": "circuit-reference"},
+            },
+        }))
+        assert main([
+            "estimate", "verify", "--expected", str(expected),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "mismatch" in captured.out
+        assert "baseline-8g-copy8" in captured.err
+
+
+class TestOverheadsRewire:
+    def test_overheads_output_identical_to_direct_model(self, capsys):
+        # Satellite guarantee: `repro overheads` now routes through the
+        # estimator registry but must print exactly the pre-framework
+        # numbers (the paper's Section 6 cost story).
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        model = DecoderAreaModel()
+        assert f"{model.copy_decoder_overhead(8):.2%}" in out
+        assert f"{model.crow_chip_overhead(8):.2%}" in out
+        assert f"{model.crow_capacity_overhead(8):.2%}" in out
+        # The historical anchor string from the pre-framework table.
+        assert "chip area overhead" in out and "0.48%" in out

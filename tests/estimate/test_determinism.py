@@ -1,0 +1,139 @@
+"""Estimator determinism: cache paths and process boundaries.
+
+A record written by one process must be bit-identical to what any other
+process would compute, and serving from cache must not perturb a single
+bit — otherwise the record cache would silently change campaign energy
+numbers depending on who computed first. The hypothesis properties pin
+the hit/miss equivalence; the fresh-interpreter tests pin the process
+boundary with hash randomization left on.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, strategies as st
+
+from repro.dram.timing import TimingParameters
+from repro.energy import IddCurrents
+from repro.estimate import EstimatorArbiter, RecordCache
+from repro.estimate.runtime import (
+    channel_energy_query,
+    crow_overheads_query,
+    decoder_area_query,
+)
+from repro.keying import stable_digest
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_DENSITIES = (8, 16, 32, 64)
+
+_CHILD = """\
+from repro.dram.timing import TimingParameters
+from repro.energy import IddCurrents
+from repro.estimate import EstimatorArbiter
+from repro.estimate.runtime import (
+    channel_energy_query,
+    decoder_area_query,
+)
+from repro.keying import stable_digest
+
+arbiter = EstimatorArbiter()
+energy = arbiter.estimate(channel_energy_query(
+    TimingParameters.lpddr4({density}), IddCurrents.lpddr4({density}),
+))
+area = arbiter.estimate(decoder_area_query({rows}))
+print(stable_digest(energy.to_payload()))
+print(stable_digest(area.to_payload()))
+"""
+
+
+def _payload_digests_in_fresh_interpreter(density: int, rows: int):
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(density=density, rows=rows)],
+        capture_output=True, text=True, check=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": str(_SRC),
+            "PYTHONHASHSEED": "random",
+        },
+    )
+    return completed.stdout.split()
+
+
+def _assert_bit_identical(a, b):
+    assert a.unit == b.unit
+    assert a.backend == b.backend
+    assert a.accuracy_percent == b.accuracy_percent
+    if isinstance(a.value, dict):
+        assert set(a.value) == set(b.value)
+        for key, value in a.value.items():
+            assert b.value[key].hex() == value.hex(), key
+    else:
+        assert b.value.hex() == a.value.hex()
+
+
+@given(
+    density=st.sampled_from(_DENSITIES),
+    mra=st.one_of(
+        st.none(),
+        st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    ),
+)
+def test_energy_estimates_identical_on_hit_and_miss_paths(
+    tmp_path_factory, density, mra
+):
+    tmp_path = tmp_path_factory.mktemp("records")
+    query = channel_energy_query(
+        TimingParameters.lpddr4(density), IddCurrents.lpddr4(density), mra
+    )
+    uncached = EstimatorArbiter().estimate(query)
+    writer = EstimatorArbiter(cache=RecordCache(tmp_path))
+    stored = writer.estimate(query)
+    served = EstimatorArbiter(cache=RecordCache(tmp_path)).estimate(query)
+    _assert_bit_identical(uncached, stored)
+    _assert_bit_identical(uncached, served)
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=4096),
+    copy_rows=st.integers(min_value=1, max_value=512),
+)
+def test_area_estimates_identical_on_hit_and_miss_paths(
+    tmp_path_factory, rows, copy_rows
+):
+    tmp_path = tmp_path_factory.mktemp("records")
+    writer = EstimatorArbiter(cache=RecordCache(tmp_path))
+    reader = EstimatorArbiter(cache=RecordCache(tmp_path))
+    for query in (decoder_area_query(rows), crow_overheads_query(copy_rows)):
+        uncached = EstimatorArbiter().estimate(query)
+        _assert_bit_identical(uncached, writer.estimate(query))
+        _assert_bit_identical(uncached, reader.estimate(query))
+    assert reader.backend_calls == 0
+
+
+def test_estimates_survive_the_process_boundary():
+    arbiter = EstimatorArbiter()
+    energy = arbiter.estimate(channel_energy_query(
+        TimingParameters.lpddr4(16), IddCurrents.lpddr4(16)
+    ))
+    area = arbiter.estimate(decoder_area_query(512))
+    child = _payload_digests_in_fresh_interpreter(16, 512)
+    assert child == [
+        stable_digest(energy.to_payload()),
+        stable_digest(area.to_payload()),
+    ]
+
+
+def test_record_files_are_byte_identical_across_processes(tmp_path):
+    # Two independent writer processes must produce the same record
+    # bytes, so a shared cache directory never churns on re-runs.
+    query = decoder_area_query(512)
+    contents = []
+    for attempt in ("a", "b"):
+        directory = tmp_path / attempt
+        EstimatorArbiter(cache=RecordCache(directory)).estimate(query)
+        path = directory / RecordCache(directory).path_for(query).name
+        contents.append(path.read_bytes())
+    assert contents[0] == contents[1]

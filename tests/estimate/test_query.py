@@ -1,0 +1,107 @@
+"""EstimateQuery / AccuracyEstimation / Estimation value semantics."""
+
+import math
+
+import pytest
+
+from repro.dram.timing import TimingParameters
+from repro.energy import IddCurrents
+from repro.errors import ConfigError
+from repro.estimate import AccuracyEstimation, EstimateQuery, Estimation
+
+
+def test_query_digest_is_content_addressed():
+    a = EstimateQuery("row-decoder", "area", {"rows": 512})
+    b = EstimateQuery("row-decoder", "area", {"rows": 512})
+    c = EstimateQuery("row-decoder", "area", {"rows": 8})
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    assert a.label == "row-decoder/area"
+
+
+def test_query_digest_covers_dataclass_attributes():
+    base = EstimateQuery(
+        "dram-channel", "energy-coefficients",
+        {"timing": TimingParameters.lpddr4(8),
+         "currents": IddCurrents.lpddr4(8)},
+    )
+    denser = EstimateQuery(
+        "dram-channel", "energy-coefficients",
+        {"timing": TimingParameters.lpddr4(8),
+         "currents": IddCurrents.lpddr4(32)},
+    )
+    assert base.digest() != denser.digest()
+
+
+def test_query_attribute_order_does_not_change_digest():
+    a = EstimateQuery("c", "a", {"x": 1, "y": 2})
+    b = EstimateQuery("c", "a", {"y": 2, "x": 1})
+    assert a.digest() == b.digest()
+
+
+def test_query_rejects_empty_component_and_action():
+    with pytest.raises(ConfigError):
+        EstimateQuery("", "area")
+    with pytest.raises(ConfigError):
+        EstimateQuery("row-decoder", "")
+
+
+def test_query_rejects_unkeyable_attributes_at_digest_time():
+    class Opaque:
+        __slots__ = ()
+
+    query = EstimateQuery("c", "a", {"thing": Opaque()})
+    with pytest.raises(ConfigError, match="stable representation"):
+        query.digest()
+
+
+def test_accuracy_range_enforced():
+    assert AccuracyEstimation(70.0).supported
+    assert not AccuracyEstimation(0.0, "nope").supported
+    for bad in (-1.0, 101.0, math.nan, math.inf):
+        with pytest.raises(ConfigError):
+            AccuracyEstimation(bad)
+
+
+def test_estimation_rejects_non_finite_values():
+    with pytest.raises(ConfigError, match="non-finite"):
+        Estimation(value=math.nan, unit="nJ", accuracy_percent=50.0)
+    with pytest.raises(ConfigError, match="non-finite"):
+        Estimation(
+            value={"act_nj": math.inf}, unit="nJ", accuracy_percent=50.0
+        )
+
+
+def test_estimation_scalar_vs_mapping_access():
+    scalar = Estimation(value=1.5, unit="nJ", accuracy_percent=50.0)
+    mapping = Estimation(
+        value={"a": 1.0}, unit="nJ", accuracy_percent=50.0
+    )
+    assert scalar.scalar() == 1.5
+    assert mapping.mapping() == {"a": 1.0}
+    with pytest.raises(ConfigError):
+        scalar.mapping()
+    with pytest.raises(ConfigError):
+        mapping.scalar()
+
+
+def test_estimation_payload_round_trip_is_bit_exact():
+    original = Estimation(
+        value={"act_nj": 1.9979574999999996, "cycle_ns": 0.625},
+        unit="nJ",
+        accuracy_percent=90.0,
+        backend="idd-reference",
+        notes=("a", "b"),
+    )
+    rebuilt = Estimation.from_payload(original.to_payload())
+    assert rebuilt == original
+    for key, value in original.mapping().items():
+        assert math.copysign(1, rebuilt.mapping()[key]) == math.copysign(
+            1, value
+        )
+        assert rebuilt.mapping()[key].hex() == value.hex()
+
+
+def test_estimation_from_malformed_payload():
+    with pytest.raises(ConfigError, match="malformed"):
+        Estimation.from_payload({"unit": "nJ"})

@@ -1,0 +1,145 @@
+"""Persistent record cache: hits, repairs, atomicity, stats."""
+
+import json
+import os
+
+import pytest
+
+from repro.estimate import (
+    EstimateQuery,
+    Estimation,
+    EstimatorArbiter,
+    RecordCache,
+    RECORD_VERSION,
+)
+from repro.estimate.runtime import decoder_area_query
+
+
+def _estimation():
+    return Estimation(
+        value=1234.5, unit="um^2", accuracy_percent=95.0,
+        backend="circuit-reference",
+    )
+
+
+def test_miss_then_store_then_hit(tmp_path):
+    cache = RecordCache(tmp_path)
+    query = decoder_area_query(512)
+    assert cache.load(query) is None
+    assert cache.misses == 1
+    cache.store(query, _estimation())
+    assert cache.stores == 1
+    loaded = cache.load(query)
+    assert loaded == _estimation()
+    assert cache.hits == 1
+
+
+def test_record_filename_is_content_addressed_and_readable(tmp_path):
+    cache = RecordCache(tmp_path)
+    query = decoder_area_query(512)
+    path = cache.path_for(query)
+    assert path.name.startswith("row-decoder-area-")
+    assert path.name.endswith(f"{query.digest()}.json")
+    cache.store(query, _estimation())
+    payload = json.loads(path.read_text())
+    assert payload["version"] == RECORD_VERSION
+    assert payload["query"] == query.projection()
+
+
+def test_corrupt_record_is_repaired_not_fatal(tmp_path):
+    cache = RecordCache(tmp_path)
+    query = decoder_area_query(512)
+    cache.store(query, _estimation())
+    cache.path_for(query).write_text("{not json")
+    assert cache.load(query) is None
+    assert cache.repairs == 1
+    assert not cache.path_for(query).exists()
+    # A subsequent store + load recovers cleanly.
+    cache.store(query, _estimation())
+    assert cache.load(query) == _estimation()
+
+
+def test_version_mismatch_is_repaired(tmp_path):
+    cache = RecordCache(tmp_path)
+    query = decoder_area_query(512)
+    cache.store(query, _estimation())
+    path = cache.path_for(query)
+    payload = json.loads(path.read_text())
+    payload["version"] = RECORD_VERSION + 1
+    path.write_text(json.dumps(payload))
+    assert cache.load(query) is None
+    assert cache.repairs == 1
+
+
+def test_record_claiming_wrong_query_is_repaired(tmp_path):
+    # A digest collision (or a hand-edited file) must not serve a
+    # record for a different query.
+    cache = RecordCache(tmp_path)
+    query = decoder_area_query(512)
+    other = decoder_area_query(8)
+    cache.store(other, _estimation())
+    cache.path_for(other).rename(cache.path_for(query))
+    assert cache.load(query) is None
+    assert cache.repairs == 1
+
+
+def test_no_tmp_files_left_behind(tmp_path):
+    cache = RecordCache(tmp_path)
+    for rows in (8, 64, 512):
+        cache.store(decoder_area_query(rows), _estimation())
+    leftovers = [p for p in tmp_path.iterdir() if not p.suffix == ".json"]
+    assert leftovers == []
+    assert str(os.getpid()) not in "".join(
+        p.name for p in tmp_path.iterdir()
+    )
+
+
+def test_stats_reports_directory_contents(tmp_path):
+    cache = RecordCache(tmp_path)
+    cache.store(decoder_area_query(512), _estimation())
+    cache.load(decoder_area_query(512))
+    cache.load(decoder_area_query(8))
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["stores"] == 1
+    assert stats["directory"] == str(tmp_path)
+
+
+def test_arbiter_counts_cache_service(tmp_path):
+    cache = RecordCache(tmp_path)
+    arbiter = EstimatorArbiter(cache=cache)
+    query = decoder_area_query(512)
+    first = arbiter.estimate(query)
+    second = arbiter.estimate(query)
+    assert first == second
+    assert arbiter.backend_calls == 1
+    assert arbiter.served_from_cache == 1
+    # A fresh arbiter over the same directory never touches a backend:
+    # this is the cross-process warm-start contract.
+    warm = EstimatorArbiter(cache=RecordCache(tmp_path))
+    assert warm.estimate(query) == first
+    assert warm.backend_calls == 0
+    assert warm.served_from_cache == 1
+
+
+def test_cached_estimation_preserves_backend_stamp(tmp_path):
+    cache = RecordCache(tmp_path)
+    arbiter = EstimatorArbiter(cache=cache)
+    query = EstimateQuery(
+        "memory-array", "area",
+        {"technology": "vt-cell-ram", "bits": 4096},
+    )
+    stored = arbiter.estimate(query)
+    served = EstimatorArbiter(cache=RecordCache(tmp_path)).estimate(query)
+    assert stored.backend == "exotic-memory"
+    assert served.backend == "exotic-memory"
+
+
+def test_cache_rejects_file_path(tmp_path):
+    target = tmp_path / "not-a-dir"
+    target.write_text("x")
+    with pytest.raises(OSError):
+        RecordCache(target)

@@ -1,0 +1,125 @@
+"""Reference backends must be byte-identical ports of the base models."""
+
+import pytest
+
+from repro.circuit.area import DecoderAreaModel
+from repro.circuit.power import activation_power_overhead
+from repro.dram.timing import TimingParameters
+from repro.energy import EnergyModel, IddCurrents
+from repro.errors import EstimateError
+from repro.estimate import EstimateQuery, EstimatorArbiter
+from repro.estimate.runtime import (
+    activation_power,
+    activation_power_query,
+    channel_coefficients,
+    channel_energy_query,
+    crow_overheads,
+    decoder_area_um2,
+)
+
+
+@pytest.fixture()
+def arbiter():
+    return EstimatorArbiter()
+
+
+@pytest.mark.parametrize("density", [8, 16, 32, 64])
+def test_channel_coefficients_identical_to_energy_model(arbiter, density):
+    timing = TimingParameters.lpddr4(density)
+    currents = IddCurrents.lpddr4(density)
+    arbitrated = channel_coefficients(timing, currents, arbiter=arbiter)
+    assert arbitrated == EnergyModel(timing, currents).coefficients()
+
+
+def test_mra_overhead_attribute_reaches_the_model(arbiter):
+    timing = TimingParameters.lpddr4(8)
+    currents = IddCurrents.lpddr4(8)
+    arbitrated = channel_coefficients(
+        timing, currents, mra_power_overhead=1.3, arbiter=arbiter
+    )
+    assert arbitrated == EnergyModel(timing, currents, 1.3).coefficients()
+    # The model folds the extra fraction into a 1 + overhead multiplier.
+    assert arbitrated.mra_overhead == 1.0 + 1.3
+
+
+@pytest.mark.parametrize("rows", [2, 8, 64, 512])
+def test_decoder_area_identical_to_area_model(arbiter, rows):
+    assert decoder_area_um2(rows, arbiter=arbiter) == DecoderAreaModel(
+    ).decoder_area_um2(rows)
+
+
+@pytest.mark.parametrize("copy_rows", [1, 8, 64])
+def test_crow_overheads_identical_to_area_model(arbiter, copy_rows):
+    model = DecoderAreaModel()
+    overheads = crow_overheads(copy_rows, arbiter=arbiter)
+    assert overheads == {
+        "decoder_area_um2": model.decoder_area_um2(copy_rows),
+        "decoder_overhead": model.copy_decoder_overhead(copy_rows),
+        "chip_overhead": model.crow_chip_overhead(copy_rows),
+        "capacity_overhead": model.crow_capacity_overhead(copy_rows),
+    }
+
+
+@pytest.mark.parametrize("n_rows", [1, 2, 4, 8])
+def test_activation_power_identical_to_power_model(arbiter, n_rows):
+    assert activation_power(
+        n_rows, arbiter=arbiter
+    ) == activation_power_overhead(n_rows)
+
+
+def test_tldram_and_salp_served_by_circuit_reference(arbiter):
+    model = DecoderAreaModel()
+    tldram = arbiter.estimate(
+        EstimateQuery(
+            "tldram-substrate", "chip-overhead", {"near_rows": 32}
+        )
+    )
+    salp = arbiter.estimate(
+        EstimateQuery(
+            "salp-substrate", "chip-overhead", {"subarrays_per_bank": 8}
+        )
+    )
+    assert tldram.backend == "circuit-reference"
+    assert tldram.scalar() == model.tldram_chip_overhead(32)
+    assert salp.scalar() == model.salp_chip_overhead(8)
+
+
+def test_missing_attribute_is_a_structured_refusal(arbiter):
+    query = EstimateQuery("row-decoder", "area", {})
+    with pytest.raises(EstimateError, match="rows"):
+        arbiter.estimate(query)
+
+
+def test_mistyped_attribute_is_a_structured_refusal(arbiter):
+    query = EstimateQuery("row-decoder", "area", {"rows": "many"})
+    with pytest.raises(EstimateError, match="rows"):
+        arbiter.estimate(query)
+
+
+def test_energy_backend_requires_real_model_inputs(arbiter):
+    query = channel_energy_query(
+        TimingParameters.lpddr4(8), IddCurrents.lpddr4(8)
+    )
+    broken = EstimateQuery(
+        query.component, query.action,
+        {**query.attributes, "currents": {"idd0": 1.0}},
+    )
+    with pytest.raises(EstimateError, match="currents"):
+        arbiter.estimate(broken)
+
+
+def test_cacti_backend_disagrees_but_shares_the_schema():
+    timing = TimingParameters.lpddr4(8)
+    currents = IddCurrents.lpddr4(8)
+    reference = channel_coefficients(
+        timing, currents, arbiter=EstimatorArbiter()
+    )
+    analytical = channel_coefficients(
+        timing, currents,
+        arbiter=EstimatorArbiter(names=("cacti-analytical",)),
+    )
+    # Same dataclass, constructed from the same mapping keys...
+    assert type(analytical) is type(reference)
+    # ...but a genuinely different model underneath.
+    assert analytical.act_nj != reference.act_nj
+    assert analytical.cycle_ns == reference.cycle_ns

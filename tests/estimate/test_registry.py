@@ -1,0 +1,66 @@
+"""Estimator registry: deterministic ordering and name hygiene."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.estimate import (
+    EstimatorPlugin,
+    estimator_names,
+    get_estimator,
+    register_estimator,
+)
+from repro.estimate import registry as registry_module
+
+
+def test_builtin_registration_order_is_stable():
+    names = estimator_names()
+    # Reference backends first (the arbitration tie-break), then the
+    # analytical and exotic backends, in import order.
+    assert names == (
+        "idd-reference",
+        "circuit-reference",
+        "cacti-analytical",
+        "exotic-memory",
+    )
+
+
+def test_get_estimator_returns_named_singletons():
+    for name in estimator_names():
+        plugin = get_estimator(name)
+        assert plugin.name == name
+        assert plugin is get_estimator(name)
+
+
+def test_unknown_estimator_lists_registered_names():
+    with pytest.raises(ConfigError, match="idd-reference"):
+        get_estimator("does-not-exist")
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigError, match="non-empty"):
+        register_estimator("")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+
+        @register_estimator("idd-reference")
+        class Duplicate(EstimatorPlugin):
+            def supported_components(self):
+                return ()
+
+
+def test_registration_is_reversible_for_tests():
+    @register_estimator("test-only-backend")
+    class TestOnly(EstimatorPlugin):
+        percent_accuracy = 10.0
+
+        def supported_components(self):
+            return ("test-component",)
+
+    try:
+        assert "test-only-backend" in estimator_names()
+        assert estimator_names()[-1] == "test-only-backend"
+    finally:
+        del registry_module._REGISTRY["test-only-backend"]
+    assert "test-only-backend" not in estimator_names()
